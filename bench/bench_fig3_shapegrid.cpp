@@ -1,0 +1,95 @@
+// Figure 3: shape-grid compression — cell configurations are hash-consed
+// and runs of identical cells merge into intervals.  The paper's example
+// compresses a small layout into 15 intervals over 13 configurations; here
+// we report interval/configuration counts against raw cell counts for a
+// routed chip, plus insert/query throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "src/util/rng.hpp"
+#include "src/router/bonnroute.hpp"
+
+using namespace bonn;
+
+static Chip make_routed_chip(RoutingResult* out) {
+  ChipParams p;
+  p.tiles_x = 4;
+  p.tiles_y = 4;
+  p.tracks_per_tile = 30;
+  p.num_nets = 120 * bench::scale();
+  p.seed = 21;
+  Chip chip = generate_chip(p);
+  FlowParams fp;
+  fp.global.sharing.phases = 4;
+  fp.run_cleanup = false;
+  run_bonnroute_flow(chip, fp, out);
+  return chip;
+}
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 3: shape grid interval & config compression");
+
+  RoutingResult result;
+  const Chip chip = make_routed_chip(&result);
+
+  ShapeGrid grid(chip.tech, chip.die);
+  std::size_t raw_cells = 0;
+  std::vector<Shape> all = chip.fixed_shapes();
+  for (const auto& paths : result.net_paths) {
+    for (const RoutedPath& p : paths) {
+      const auto shapes = expand_path(p, chip.tech);
+      all.insert(all.end(), shapes.begin(), shapes.end());
+    }
+  }
+  for (const Shape& s : all) {
+    grid.insert(s, kStandard);
+    // Upper bound on cells touched by this shape.
+    raw_cells += static_cast<std::size_t>(
+        (s.rect.width() / 100 + 2) * (s.rect.height() / 100 + 2));
+  }
+
+  std::printf("shapes inserted        : %zu\n", all.size());
+  std::printf("cells touched (approx) : %zu\n", raw_cells);
+  std::printf("stored intervals       : %zu (%.1fx compression)\n",
+              grid.interval_count(),
+              grid.interval_count()
+                  ? static_cast<double>(raw_cells) / grid.interval_count()
+                  : 0.0);
+  std::printf("distinct configurations: %zu (%.1f cells/config)\n",
+              grid.config_count(),
+              grid.config_count()
+                  ? static_cast<double>(raw_cells) / grid.config_count()
+                  : 0.0);
+
+  // Micro-benchmarks: insertion and window queries.
+  static const Chip* chip_p = &chip;
+  static const std::vector<Shape>* all_p = &all;
+  benchmark::RegisterBenchmark("shapegrid_insert_remove",
+                               [](benchmark::State& state) {
+                                 ShapeGrid g(chip_p->tech, chip_p->die);
+                                 std::size_t i = 0;
+                                 for (auto _ : state) {
+                                   const Shape& s = (*all_p)[i % all_p->size()];
+                                   g.insert(s, kStandard);
+                                   g.remove(s, kStandard);
+                                   ++i;
+                                 }
+                               });
+  static ShapeGrid* grid_p = &grid;
+  benchmark::RegisterBenchmark("shapegrid_query_window",
+                               [](benchmark::State& state) {
+                                 Rng rng(5);
+                                 std::size_t found = 0;
+                                 for (auto _ : state) {
+                                   const Coord x = rng.range(0, 10000);
+                                   const Coord y = rng.range(0, 10000);
+                                   grid_p->query(
+                                       0, Rect{x, y, x + 300, y + 300},
+                                       [&](const GridShape&) { ++found; });
+                                 }
+                                 benchmark::DoNotOptimize(found);
+                               });
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 7 / §4.3: greedy pin access can block neighbouring pins; the
+// conflict-free (branch-and-bound) selection serves them all.  We measure
+// served-pin counts and selection quality over the pin clusters of a
+// generated chip.
+#include "bench/bench_common.hpp"
+#include "src/detailed/pin_access.hpp"
+#include "src/util/timer.hpp"
+
+using namespace bonn;
+
+int main() {
+  bench::print_header("Figure 7: greedy vs conflict-free pin access");
+
+  ChipParams p;
+  p.tiles_x = 4;
+  p.tiles_y = 4;
+  p.tracks_per_tile = 30;
+  p.num_nets = 150 * bench::scale();
+  p.seed = 51;
+  const Chip chip = generate_chip(p);
+  RoutingSpace rs(chip);
+  PinAccess access(rs);
+
+  // Cluster pins by proximity (as the router's preprocessing does).
+  std::vector<std::vector<int>> clusters;
+  {
+    std::vector<int> order(chip.pins.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = (int)i;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      const Point pa = chip.pins[(std::size_t)a].anchor();
+      const Point pb = chip.pins[(std::size_t)b].anchor();
+      return std::pair{pa.y, pa.x} < std::pair{pb.y, pb.x};
+    });
+    for (int pid : order) {
+      const Point a = chip.pins[(std::size_t)pid].anchor();
+      bool placed = false;
+      for (auto it = clusters.rbegin(); it != clusters.rend(); ++it) {
+        const Point b = chip.pins[(std::size_t)it->back()].anchor();
+        if (a.y - b.y > 300) break;
+        if (abs_diff(a.x, b.x) <= 300 && abs_diff(a.y, b.y) <= 300) {
+          it->push_back(pid);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) clusters.push_back({pid});
+    }
+  }
+
+  int clusters_multi = 0, greedy_served = 0, cf_served = 0, pins_total = 0;
+  Coord greedy_cost = 0, cf_cost = 0;
+  double t_greedy = 0, t_cf = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.size() < 2) continue;
+    ++clusters_multi;
+    std::vector<std::vector<AccessPath>> cats;
+    for (int pid : cluster) {
+      PinAccessParams ap;
+      cats.push_back(access.catalogue(chip.pins[(std::size_t)pid], ap));
+    }
+    Timer tg;
+    const auto g = access.greedy_selection(cats);
+    t_greedy += tg.seconds();
+    Timer tc;
+    const auto c = access.conflict_free_selection(cats);
+    t_cf += tc.seconds();
+    pins_total += static_cast<int>(cluster.size());
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (g[i] >= 0) {
+        ++greedy_served;
+        greedy_cost += cats[i][(std::size_t)g[i]].cost;
+      }
+      if (c[i] >= 0) {
+        ++cf_served;
+        cf_cost += cats[i][(std::size_t)c[i]].cost;
+      }
+    }
+  }
+
+  std::printf("multi-pin clusters      : %d (pins: %d)\n", clusters_multi,
+              pins_total);
+  std::printf("greedy served           : %d (cost %lld, %.2f s)\n",
+              greedy_served, (long long)greedy_cost, t_greedy);
+  std::printf("conflict-free served    : %d (cost %lld, %.2f s)\n", cf_served,
+              (long long)cf_cost, t_cf);
+  std::printf("blocked pins avoided    : %d\n", cf_served - greedy_served);
+  std::printf("\nFig. 7's phenomenon: conflict-free selection serves >= the "
+              "greedy count and\nchooses spread-out endpoints (compare "
+              "costs include spreading penalties).\n");
+  return cf_served >= greedy_served ? 0 : 1;
+}

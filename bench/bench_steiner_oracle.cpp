@@ -1,0 +1,71 @@
+// §2.2 claims about Algorithm 1 (the path-composition Steiner oracle):
+// average runtime ~0.3 ms per call, and approximation ratios far below the
+// 2 - 2/|W| guarantee in practice.  We measure both against a tile-metric
+// Steiner lower bound.
+#include "bench/bench_common.hpp"
+#include "src/detailed/routing_space.hpp"
+#include "src/geom/rsmt.hpp"
+#include "src/global/global_router.hpp"
+#include "src/router/bonnroute.hpp"
+#include "src/util/timer.hpp"
+
+using namespace bonn;
+
+int main() {
+  bench::print_header("Algorithm 1 (Steiner oracle): runtime & ratio");
+
+  ChipParams p;
+  p.tiles_x = 8;
+  p.tiles_y = 8;
+  p.tracks_per_tile = 30;
+  p.num_nets = 400 * bench::scale();
+  p.seed = 61;
+  const Chip chip = generate_chip(p);
+  RoutingSpace rs(chip);
+  auto [nx, ny] = auto_tiles(chip);
+  GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
+  ResourceModel model(gr.graph(), chip, 2);
+  SteinerOracle oracle(gr.graph(), model);
+  SteinerOracle::Workspace ws;
+  std::vector<double> y(static_cast<std::size_t>(model.num_resources()), 1.0);
+
+  Timer total;
+  int calls = 0;
+  double ratio_sum = 0;
+  double worst_ratio = 0;
+  int ratio_count = 0;
+  for (const Net& n : chip.nets) {
+    const auto& terms = gr.net_vertices(n.id);
+    if (terms.size() < 2) continue;
+    const SteinerSolution sol = oracle.solve(terms, n.id, y, ws);
+    ++calls;
+    // Ratio vs the rectilinear Steiner lower bound in tile-centre metric
+    // (counting only planar length).
+    Coord routed = 0;
+    for (const auto& [e, s] : sol.edges) {
+      (void)s;
+      routed += gr.graph().edge(e).length;
+    }
+    std::vector<Point> centres;
+    for (int v : terms) {
+      centres.push_back(
+          gr.graph().tile_center(gr.graph().tx_of(v), gr.graph().ty_of(v)));
+    }
+    const Coord lb = rsmt_length(centres);
+    if (lb > 0) {
+      const double r = static_cast<double>(routed) / lb;
+      ratio_sum += r;
+      worst_ratio = std::max(worst_ratio, r);
+      ++ratio_count;
+    }
+  }
+  const double secs = total.seconds();
+  std::printf("oracle calls        : %d\n", calls);
+  std::printf("avg time per call   : %.3f ms  (paper: ~0.3 ms)\n",
+              calls ? 1e3 * secs / calls : 0.0);
+  std::printf("avg length ratio    : %.3fx of Steiner LB\n",
+              ratio_count ? ratio_sum / ratio_count : 0.0);
+  std::printf("worst length ratio  : %.3fx (guarantee: 2 - 2/|W|)\n",
+              worst_ratio);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Table I: ISR vs BR+ISR — runtime, memory, netlength, via count, scenic
+// nets (>= 25 % / >= 50 % detour), error counts, per chip and summed.
+//
+// Scaled-down reproduction: chips are synthetic (see DESIGN.md); the shape
+// to verify is the *relative* comparison — BR+ISR at least 2x faster, ~5 %
+// less netlength, ~20 % fewer vias, scenic nets reduced by >90 %.
+#include "bench/bench_common.hpp"
+#include "src/router/bonnroute.hpp"
+
+using namespace bonn;
+
+int main() {
+  bench::print_header(
+      "Table I: ISR vs BR+ISR (runtime / netlength / vias / scenic / errors)");
+  const auto suite = bench::bench_suite();
+
+  struct Row {
+    double br = 0, total = 0, mem = 0;
+    Coord wl = 0;
+    std::int64_t vias = 0;
+    int sc25 = 0, sc50 = 0;
+    std::int64_t errors = 0;
+    std::int64_t opens = 0;
+    std::int64_t connections = 0;  ///< completed connections
+  };
+  Row sum_isr, sum_br;
+
+  std::printf("%-6s %-7s | %9s %9s %11s %9s %7s %7s %7s %6s\n", "chip",
+              "flow", "time[s]", "mem[GB]", "netlen[mm]", "#vias", "sc25",
+              "sc50", "errors", "opens");
+
+  int chip_no = 0;
+  for (const ChipParams& params : suite) {
+    ++chip_no;
+    const Chip chip = generate_chip(params);
+    FlowParams fp;
+    fp.global.sharing.phases = 6;
+
+    auto run = [&](bool isr) {
+      const FlowReport r = isr ? run_isr_flow(chip, fp, nullptr)
+                               : run_bonnroute_flow(chip, fp, nullptr);
+      Row row;
+      row.br = r.br_seconds;
+      row.total = r.total_seconds;
+      row.mem = r.memory_gb;
+      row.wl = r.netlength;
+      row.vias = r.vias;
+      row.sc25 = r.scenic.over_25;
+      row.sc50 = r.scenic.over_50;
+      row.errors = r.drc.errors();
+      row.opens = r.drc.opens;
+      std::int64_t needed = 0;
+      for (const Net& n : chip.nets) needed += n.degree() - 1;
+      row.connections = needed - r.drc.opens;
+      return row;
+    };
+    const Row isr = run(true);
+    const Row br = run(false);
+
+    auto print = [&](const char* flow, const Row& r, const char* prefix) {
+      std::printf(
+          "%-6s %-7s | %9.2f %9.2f %11.3f %9lld %7d %7d %7lld %6lld\n",
+          prefix, flow, r.total, r.mem, static_cast<double>(r.wl) / 1e6,
+          (long long)r.vias, r.sc25, r.sc50, (long long)r.errors,
+          (long long)r.opens);
+    };
+    char label[16];
+    std::snprintf(label, sizeof label, "%d(%dk)", chip_no,
+                  params.num_nets / 1000);
+    print("ISR", isr, label);
+    print("BR+ISR", br, "");
+
+    auto acc = [](Row& s, const Row& r) {
+      s.br += r.br;
+      s.total += r.total;
+      s.mem += r.mem;
+      s.wl += r.wl;
+      s.vias += r.vias;
+      s.sc25 += r.sc25;
+      s.sc50 += r.sc50;
+      s.errors += r.errors;
+      s.opens += r.opens;
+      s.connections += r.connections;
+    };
+    acc(sum_isr, isr);
+    acc(sum_br, br);
+  }
+
+  std::printf("%-6s %-7s | %9.2f %9s %11.3f %9lld %7d %7d %7lld %6lld\n",
+              "Sum", "ISR", sum_isr.total, "-",
+              static_cast<double>(sum_isr.wl) / 1e6, (long long)sum_isr.vias,
+              sum_isr.sc25, sum_isr.sc50, (long long)sum_isr.errors,
+              (long long)sum_isr.opens);
+  std::printf("%-6s %-7s | %9.2f %9s %11.3f %9lld %7d %7d %7lld %6lld\n",
+              "", "BR+ISR", sum_br.total, "-",
+              static_cast<double>(sum_br.wl) / 1e6, (long long)sum_br.vias,
+              sum_br.sc25, sum_br.sc50, (long long)sum_br.errors,
+              (long long)sum_br.opens);
+
+  const auto pct = [](double a, double b) {
+    return b > 0 ? 100.0 * (a - b) / b : 0.0;
+  };
+  std::printf("\nPaper shape check (BR+ISR vs ISR):\n");
+  std::printf("  runtime ratio        : %.2fx (paper: > 2x faster)\n",
+              sum_br.total > 0 ? sum_isr.total / sum_br.total : 0.0);
+  std::printf("  netlength delta      : %+.1f %% (paper: ~ -5 %%)\n",
+              pct(static_cast<double>(sum_br.wl),
+                  static_cast<double>(sum_isr.wl)));
+  std::printf("  via delta            : %+.1f %% (paper: ~ -20 %%)\n",
+              pct(static_cast<double>(sum_br.vias),
+                  static_cast<double>(sum_isr.vias)));
+  std::printf("  scenic(25%%) reduction: %d -> %d (paper: >90 %% fewer)\n",
+              sum_isr.sc25, sum_br.sc25);
+  std::printf("  completion (opens)   : ISR %lld vs BR+ISR %lld\n",
+              (long long)sum_isr.opens, (long long)sum_br.opens);
+  // Completion-normalized quality: unrouted connections carry no wire, so
+  // raw sums understate the less-complete flow's cost.
+  const double isr_per = sum_isr.connections
+                             ? double(sum_isr.wl) / sum_isr.connections
+                             : 0.0;
+  const double br_per = sum_br.connections
+                            ? double(sum_br.wl) / sum_br.connections
+                            : 0.0;
+  std::printf("  wl per completed conn: ISR %.0f dbu vs BR+ISR %.0f dbu "
+              "(%+.1f %%)\n",
+              isr_per, br_per,
+              isr_per > 0 ? 100.0 * (br_per - isr_per) / isr_per : 0.0);
+  const double isr_via_per = sum_isr.connections
+                                 ? double(sum_isr.vias) / sum_isr.connections
+                                 : 0.0;
+  const double br_via_per = sum_br.connections
+                                ? double(sum_br.vias) / sum_br.connections
+                                : 0.0;
+  std::printf("  vias per completed conn: ISR %.2f vs BR+ISR %.2f "
+              "(%+.1f %%)\n",
+              isr_via_per, br_via_per,
+              isr_via_per > 0
+                  ? 100.0 * (br_via_per - isr_via_per) / isr_via_per
+                  : 0.0);
+  return 0;
+}

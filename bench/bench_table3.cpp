@@ -1,0 +1,81 @@
+// Table III: BonnRoute's global router vs the ISR global router — runtime
+// (with the Alg. 2 / rip-up-&-reroute split), netlength and via counts, plus
+// the §2.4 claims: <10 % of nets rechosen after rounding, almost no fresh
+// reroutes, R&R < 5 % of global runtime.
+#include "bench/bench_common.hpp"
+#include "src/detailed/routing_space.hpp"
+#include "src/router/bonnroute.hpp"
+#include "src/router/isr_global.hpp"
+
+using namespace bonn;
+
+int main() {
+  bench::print_header("Table III: BR-global vs ISR-global");
+  const auto suite = bench::bench_suite();
+
+  std::printf("%-5s | %9s %9s %7s | %9s | %11s %11s | %9s %9s\n", "chip",
+              "BR[s]", "Alg2[s]", "R&R[s]", "ISR[s]", "BR len[mm]",
+              "ISR len[mm]", "BR vias", "ISR vias");
+
+  double sum_br_t = 0, sum_isr_t = 0, sum_alg2 = 0, sum_rr = 0;
+  Coord sum_br_len = 0, sum_isr_len = 0;
+  std::int64_t sum_br_v = 0, sum_isr_v = 0;
+  int total_rechosen = 0, total_fresh = 0, total_nets = 0;
+
+  int chip_no = 0;
+  for (const ChipParams& params : suite) {
+    ++chip_no;
+    const Chip chip = generate_chip(params);
+    RoutingSpace rs(chip);
+    auto [nx, ny] = auto_tiles(chip);
+    GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
+
+    GlobalRouterParams gp;
+    gp.sharing.phases = 8;
+    GlobalRoutingStats br;
+    gr.route(gp, &br);
+
+    IsrGlobalRouter isr(chip, gr);
+    IsrGlobalStats is;
+    isr.route(IsrGlobalParams{}, &is);
+
+    std::printf("%-5d | %9.2f %9.2f %7.2f | %9.2f | %11.3f %11.3f | %9lld %9lld\n",
+                chip_no, br.total_seconds, br.alg2_seconds, br.rr_seconds,
+                is.seconds, br.netlength / 1e6, is.netlength / 1e6,
+                (long long)br.via_count, (long long)is.via_count);
+    sum_br_t += br.total_seconds;
+    sum_isr_t += is.seconds;
+    sum_alg2 += br.alg2_seconds;
+    sum_rr += br.rr_seconds;
+    sum_br_len += br.netlength;
+    sum_isr_len += is.netlength;
+    sum_br_v += br.via_count;
+    sum_isr_v += is.via_count;
+    total_rechosen += br.nets_rechosen;
+    total_fresh += br.fresh_routes;
+    total_nets += chip.num_nets();
+  }
+
+  std::printf("%-5s | %9.2f %9.2f %7.2f | %9.2f | %11.3f %11.3f | %9lld %9lld\n",
+              "Sum", sum_br_t, sum_alg2, sum_rr, sum_isr_t, sum_br_len / 1e6,
+              sum_isr_len / 1e6, (long long)sum_br_v, (long long)sum_isr_v);
+
+  std::printf("\nPaper shape check:\n");
+  std::printf("  BR-global vs ISR-global runtime : %.2fx faster (paper ~1.9x)\n",
+              sum_br_t > 0 ? sum_isr_t / sum_br_t : 0.0);
+  std::printf("  netlength delta                 : %+.1f %% (paper ~ -3.4 %%)\n",
+              sum_isr_len > 0 ? 100.0 * (double(sum_br_len) - double(sum_isr_len)) /
+                                    double(sum_isr_len)
+                              : 0.0);
+  std::printf("  via delta                       : %+.1f %% (paper ~ -7.9 %%)\n",
+              sum_isr_v > 0 ? 100.0 * (double(sum_br_v) - double(sum_isr_v)) /
+                                  double(sum_isr_v)
+                            : 0.0);
+  std::printf("  R&R share of BR-global runtime  : %.1f %% (paper < 5 %%)\n",
+              sum_br_t > 0 ? 100.0 * sum_rr / sum_br_t : 0.0);
+  std::printf("  nets rechosen after rounding    : %.1f %% (paper < 10 %%)\n",
+              total_nets > 0 ? 100.0 * total_rechosen / total_nets : 0.0);
+  std::printf("  fresh reroutes (all chips)      : %d (paper <= 5 per chip)\n",
+              total_fresh);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Congestion study: run the global router alone and visualize edge
+// utilization per layer as ASCII heat maps, plus the extra-space assignment
+// statistics that distinguish BonnRoute's global model (§2.1).
+#include <cstdio>
+
+#include "src/db/instance_gen.hpp"
+#include "src/detailed/routing_space.hpp"
+#include "src/global/global_router.hpp"
+#include "src/router/bonnroute.hpp"
+
+using namespace bonn;
+
+int main() {
+  ChipParams params;
+  params.tiles_x = 10;
+  params.tiles_y = 10;
+  params.tracks_per_tile = 30;
+  params.num_nets = 900;
+  params.num_macros = 3;
+  params.seed = 7;
+  const Chip chip = generate_chip(params);
+  RoutingSpace rs(chip);
+  GlobalRouter gr(chip, rs.tg(), rs.fast(), params.tiles_x, params.tiles_y);
+
+  GlobalRouterParams gp;
+  gp.sharing.phases = 10;
+  GlobalRoutingStats stats;
+  const auto routes = gr.route(gp, &stats);
+  std::printf("global routing: lambda %.3f, %.2f s (Alg.2 %.2f s, R&R %.2f s)\n",
+              stats.lambda, stats.total_seconds, stats.alg2_seconds,
+              stats.rr_seconds);
+  std::printf("rechosen nets %d, fresh reroutes %d, overflowed edges %d\n\n",
+              stats.nets_rechosen, stats.fresh_routes, stats.overflowed_edges);
+
+  // Accumulate utilization per edge.
+  const GlobalGraph& g = gr.graph();
+  std::vector<double> usage(static_cast<std::size_t>(g.num_edges()), 0.0);
+  std::int64_t spaced = 0, used_edges = 0;
+  for (const Net& n : chip.nets) {
+    const double w = chip.tech.wt(n.wiretype).track_usage;
+    for (const auto& [e, s] : routes[static_cast<std::size_t>(n.id)].edges) {
+      usage[static_cast<std::size_t>(e)] += w + s;
+      ++used_edges;
+      if (s > 0) ++spaced;
+    }
+  }
+  std::printf("extra space: %lld of %lld edge uses carry s > 0 (%.1f %%)\n\n",
+              (long long)spaced, (long long)used_edges,
+              used_edges ? 100.0 * spaced / used_edges : 0.0);
+
+  // ASCII heat map per layer (planar edges, utilization = usage/capacity).
+  const char* shades = " .:-=+*#%@";
+  for (int l = 0; l < g.layers(); ++l) {
+    std::printf("layer M%d (%s):\n", l + 1,
+                chip.tech.pref(l) == Dir::kHorizontal ? "horizontal"
+                                                      : "vertical");
+    for (int ty = g.ny() - 1; ty >= 0; --ty) {
+      std::printf("  ");
+      for (int tx = 0; tx < g.nx(); ++tx) {
+        // Max utilization over edges leaving this tile on this layer.
+        double util = 0;
+        const int v = g.vertex(tx, ty, l);
+        for (int e : g.incident(v)) {
+          const GlobalEdge& ge = g.edge(e);
+          if (ge.via || ge.layer != l) continue;
+          util = std::max(util, usage[static_cast<std::size_t>(e)] /
+                                    std::max(ge.capacity, 0.25));
+        }
+        const int idx = std::min(9, static_cast<int>(util * 9.99));
+        std::putchar(shades[idx]);
+      }
+      std::putchar('\n');
+    }
+  }
+  std::printf("\nlegend: ' ' empty ... '@' at/over capacity\n");
+  return 0;
+}

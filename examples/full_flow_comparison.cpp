@@ -1,0 +1,51 @@
+// Full-flow comparison: run both flows of §5.3 (ISR baseline and BR+ISR) on
+// one chip and print a miniature Table I row — the paper's headline
+// experiment as a runnable example.
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/db/instance_gen.hpp"
+#include "src/router/bonnroute.hpp"
+
+using namespace bonn;
+
+int main(int argc, char** argv) {
+  ChipParams params;
+  params.tiles_x = 5;
+  params.tiles_y = 5;
+  params.tracks_per_tile = 30;
+  params.num_nets = argc > 1 ? std::atoi(argv[1]) : 150;
+  params.num_macros = 2;
+  params.seed = 12;
+  const Chip chip = generate_chip(params);
+  std::printf("chip: %d nets / %d pins\n\n", chip.num_nets(), chip.num_pins());
+
+  FlowParams fp;
+  fp.global.sharing.phases = 6;
+
+  const FlowReport isr = run_isr_flow(chip, fp, nullptr);
+  const FlowReport br = run_bonnroute_flow(chip, fp, nullptr);
+
+  std::printf("%-8s %9s %11s %8s %6s %6s %7s\n", "flow", "time[s]",
+              "netlen[mm]", "vias", "sc25", "sc50", "errors");
+  auto row = [](const char* name, const FlowReport& r) {
+    std::printf("%-8s %9.2f %11.3f %8lld %6d %6d %7lld\n", name,
+                r.total_seconds, r.netlength / 1e6, (long long)r.vias,
+                r.scenic.over_25, r.scenic.over_50,
+                (long long)r.drc.errors());
+  };
+  row("ISR", isr);
+  row("BR+ISR", br);
+
+  std::printf("\nBR+ISR vs ISR: %.2fx runtime, %+.1f %% netlength, %+.1f %% "
+              "vias\n",
+              br.total_seconds > 0 ? isr.total_seconds / br.total_seconds : 0.0,
+              isr.netlength > 0 ? 100.0 * (double(br.netlength) -
+                                           double(isr.netlength)) /
+                                      double(isr.netlength)
+                                : 0.0,
+              isr.vias > 0 ? 100.0 * (double(br.vias) - double(isr.vias)) /
+                                 double(isr.vias)
+                           : 0.0);
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "src/blockagegrid/blockage_grid.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+std::vector<Coord> blockage_grid_coords(std::vector<Coord> base, Coord tau,
+                                        Interval span) {
+  BONN_CHECK(tau > 0);
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  std::erase_if(base, [&](Coord c) { return !span.contains(c); });
+  if (base.empty()) return {};
+
+  // Cluster consecutive coordinates with gaps < 4τ (Algorithm 3's c_min /
+  // c_max walk); τ-shifted copies of a coordinate stay within its cluster's
+  // extent padded by 2τ.
+  std::vector<Coord> out;
+  std::size_t i = 0;
+  while (i < base.size()) {
+    std::size_t j = i;
+    while (j + 1 < base.size() && base[j + 1] - base[j] < 4 * tau) ++j;
+    const Coord lo = std::max(span.lo, base[i] - 2 * tau);
+    const Coord hi = std::min(span.hi, base[j] + 2 * tau);
+    for (std::size_t k = i; k <= j; ++k) {
+      // λ = 0 term first, then shifted copies within [lo, hi].
+      const Coord b = base[k];
+      const Coord lam_lo = -((b - lo) / tau);
+      const Coord lam_hi = (hi - b) / tau;
+      for (Coord lam = lam_lo; lam <= lam_hi; ++lam) {
+        out.push_back(b + lam * tau);
+      }
+    }
+    i = j + 1;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+BlockageGrid BlockageGrid::build(const Rect& area,
+                                 std::span<const Rect> obstacles,
+                                 std::span<const Point> anchors, Coord tau) {
+  std::vector<Coord> bx{area.xlo, area.xhi};
+  std::vector<Coord> by{area.ylo, area.yhi};
+  for (const Rect& o : obstacles) {
+    if (!o.intersects(area)) continue;
+    bx.push_back(o.xlo);
+    bx.push_back(o.xhi);
+    by.push_back(o.ylo);
+    by.push_back(o.yhi);
+  }
+  for (const Point& p : anchors) {
+    bx.push_back(p.x);
+    by.push_back(p.y);
+  }
+  BlockageGrid g;
+  g.xs = blockage_grid_coords(std::move(bx), tau, area.x_iv());
+  g.ys = blockage_grid_coords(std::move(by), tau, area.y_iv());
+  return g;
+}
+
+}  // namespace bonn

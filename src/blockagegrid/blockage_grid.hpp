@@ -1,0 +1,37 @@
+// The blockage grid (§3.8, Algorithm 3).
+//
+// Supports shortest τ-feasible rectilinear paths: every segment must have
+// length >= τ and avoid obstacle interiors.  Starting from the Hanan-grid
+// coordinates of the obstacle borders (plus source/target), additional lines
+// are added at multiples of τ — but only while consecutive original lines
+// are closer than 4τ, which bounds the grid size (Theorem 3.2 guarantees
+// these vertices suffice for some shortest τ-feasible path).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/geom/interval.hpp"
+#include "src/geom/rect.hpp"
+
+namespace bonn {
+
+/// Algorithm 3 (one axis): given sorted base coordinates (obstacle borders,
+/// source, target), τ > 0 and the allowed span, produce the blockage-grid
+/// coordinate set for this axis.
+std::vector<Coord> blockage_grid_coords(std::vector<Coord> base, Coord tau,
+                                        Interval span);
+
+/// Full planar blockage grid for one layer: x and y coordinate sets built
+/// from obstacle borders and the given anchor points.
+struct BlockageGrid {
+  std::vector<Coord> xs;
+  std::vector<Coord> ys;
+
+  static BlockageGrid build(const Rect& area, std::span<const Rect> obstacles,
+                            std::span<const Point> anchors, Coord tau);
+
+  std::size_t vertex_count() const { return xs.size() * ys.size(); }
+};
+
+}  // namespace bonn

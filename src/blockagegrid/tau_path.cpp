@@ -1,0 +1,290 @@
+#include "src/blockagegrid/tau_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+constexpr Coord kInf = std::numeric_limits<Coord>::max() / 4;
+
+/// Directions a segment can be travelling in; kFresh = no segment yet
+/// (source, or just after a via).
+enum : int { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3, kFresh = 4 };
+
+}  // namespace
+
+TauPathSearch::TauPathSearch(const Rect& area, std::vector<TauLayer> layers,
+                             Coord via_cost, int nonpref_penalty_pct)
+    : area_(area),
+      layers_(std::move(layers)),
+      via_cost_(via_cost),
+      nonpref_pct_(nonpref_penalty_pct) {
+  BONN_CHECK(!layers_.empty());
+}
+
+bool TauPathSearch::point_free(int layer, const Point& p) const {
+  for (const Rect& o : layers_[static_cast<std::size_t>(layer)].obstacles) {
+    if (o.xlo < p.x && p.x < o.xhi && o.ylo < p.y && p.y < o.yhi) return false;
+  }
+  return true;
+}
+
+bool TauPathSearch::segment_free(int layer, const Point& a,
+                                 const Point& b) const {
+  const Interval xi{std::min(a.x, b.x), std::max(a.x, b.x)};
+  const Interval yi{std::min(a.y, b.y), std::max(a.y, b.y)};
+  for (const Rect& o : layers_[static_cast<std::size_t>(layer)].obstacles) {
+    // The zero-width centreline is blocked iff it passes through the
+    // obstacle's open interior.
+    const bool x_hit = (xi.lo == xi.hi) ? (o.xlo < xi.lo && xi.lo < o.xhi)
+                                        : (o.xlo < xi.hi && xi.lo < o.xhi);
+    const bool y_hit = (yi.lo == yi.hi) ? (o.ylo < yi.lo && yi.lo < o.yhi)
+                                        : (o.ylo < yi.hi && yi.lo < o.yhi);
+    if (x_hit && y_hit) return false;
+  }
+  return true;
+}
+
+void TauPathSearch::run(const PointL& source, std::span<const PointL> targets,
+                        std::size_t max_results,
+                        std::vector<TauPathResult>& out) const {
+  out.clear();
+  if (!area_.contains(source.pt())) return;
+
+  // Build the blockage grid with source/targets as anchors.  τ of the grid
+  // is the max over layers (denser grids remain correct for smaller τ).
+  Coord tau = 1;
+  for (const TauLayer& l : layers_) tau = std::max(tau, l.tau);
+  std::vector<Point> anchors{source.pt()};
+  for (const PointL& t : targets) anchors.push_back(t.pt());
+  std::vector<Rect> all_obs;
+  for (const TauLayer& l : layers_) {
+    all_obs.insert(all_obs.end(), l.obstacles.begin(), l.obstacles.end());
+  }
+  const BlockageGrid grid = BlockageGrid::build(area_, all_obs, anchors, tau);
+  const int nx = static_cast<int>(grid.xs.size());
+  const int ny = static_cast<int>(grid.ys.size());
+  const int L = static_cast<int>(layers_.size());
+  if (nx == 0 || ny == 0) return;
+
+  auto x_index = [&](Coord c) {
+    auto it = std::lower_bound(grid.xs.begin(), grid.xs.end(), c);
+    return (it != grid.xs.end() && *it == c)
+               ? static_cast<int>(it - grid.xs.begin())
+               : -1;
+  };
+  auto y_index = [&](Coord c) {
+    auto it = std::lower_bound(grid.ys.begin(), grid.ys.end(), c);
+    return (it != grid.ys.end() && *it == c)
+               ? static_cast<int>(it - grid.ys.begin())
+               : -1;
+  };
+  auto state_id = [&](int l, int xi, int yi, int d) {
+    return ((l * ny + yi) * nx + xi) * 5 + d;
+  };
+
+  const std::size_t num_states =
+      static_cast<std::size_t>(L) * static_cast<std::size_t>(nx) *
+      static_cast<std::size_t>(ny) * 5;
+  std::vector<Coord> dist(num_states, kInf);
+  std::vector<int> parent(num_states, -1);
+
+  auto weight = [&](int layer, bool horizontal_move) {
+    const bool pref_move =
+        (layers_[static_cast<std::size_t>(layer)].pref == Dir::kHorizontal) ==
+        horizontal_move;
+    return pref_move ? 100 : nonpref_pct_;
+  };
+
+  using QE = std::pair<Coord, int>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+
+  const int sx = x_index(source.x);
+  const int sy = y_index(source.y);
+  if (sx < 0 || sy < 0) return;
+  const int s_state = state_id(source.layer, sx, sy, kFresh);
+  dist[static_cast<std::size_t>(s_state)] = 0;
+  pq.push({0, s_state});
+
+  // Target lookup: (layer, xi, yi) -> target index.
+  std::vector<int> target_of(static_cast<std::size_t>(L * nx * ny), -1);
+  int wanted = 0;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const int tx = x_index(targets[t].x);
+    const int ty = y_index(targets[t].y);
+    if (tx < 0 || ty < 0 || targets[t].layer < 0 || targets[t].layer >= L) {
+      continue;
+    }
+    auto& slot = target_of[static_cast<std::size_t>(
+        (targets[t].layer * ny + ty) * nx + tx)];
+    if (slot < 0) {
+      slot = static_cast<int>(t);
+      ++wanted;
+    }
+  }
+  std::vector<char> target_done(targets.size(), 0);
+  int found = 0;
+
+  auto relax = [&](int from, int to, Coord w) {
+    if (dist[static_cast<std::size_t>(to)] >
+        dist[static_cast<std::size_t>(from)] + w) {
+      dist[static_cast<std::size_t>(to)] =
+          dist[static_cast<std::size_t>(from)] + w;
+      parent[static_cast<std::size_t>(to)] = from;
+      pq.push({dist[static_cast<std::size_t>(to)], to});
+    }
+  };
+
+  // Nearest grid index at distance >= tau_l in +/- direction along an axis.
+  auto jump_index = [&](const std::vector<Coord>& axis, int i, int step,
+                        Coord min_d) {
+    int j = i + step;
+    while (j >= 0 && j < static_cast<int>(axis.size())) {
+      if (abs_diff(axis[static_cast<std::size_t>(j)],
+                   axis[static_cast<std::size_t>(i)]) >= min_d) {
+        return j;
+      }
+      j += step;
+    }
+    return -1;
+  };
+
+  auto settle_target = [&](int state, int l, int xi, int yi) {
+    const int t = target_of[static_cast<std::size_t>((l * ny + yi) * nx + xi)];
+    if (t < 0 || target_done[static_cast<std::size_t>(t)]) return;
+    target_done[static_cast<std::size_t>(t)] = 1;
+    ++found;
+    // Reconstruct.
+    TauPathResult r;
+    r.target_index = t;
+    r.cost = dist[static_cast<std::size_t>(state)];
+    std::vector<PointL> pts;
+    int cur = state;
+    while (cur >= 0) {
+      const int d = cur % 5;
+      (void)d;
+      const int cell = cur / 5;
+      const int cxi = cell % nx;
+      const int cyi = (cell / nx) % ny;
+      const int cl = cell / (nx * ny);
+      const PointL p{grid.xs[static_cast<std::size_t>(cxi)],
+                     grid.ys[static_cast<std::size_t>(cyi)], cl};
+      if (pts.empty() || !(pts.back() == p)) pts.push_back(p);
+      cur = parent[static_cast<std::size_t>(cur)];
+    }
+    std::reverse(pts.begin(), pts.end());
+    // Drop collinear interior points on the same layer.
+    std::vector<PointL> simp;
+    for (const PointL& p : pts) {
+      while (simp.size() >= 2) {
+        const PointL& a = simp[simp.size() - 2];
+        const PointL& b = simp.back();
+        const bool collinear = a.layer == b.layer && b.layer == p.layer &&
+                               ((a.x == b.x && b.x == p.x) ||
+                                (a.y == b.y && b.y == p.y));
+        if (!collinear) break;
+        simp.pop_back();
+      }
+      simp.push_back(p);
+    }
+    for (std::size_t i = 1; i < simp.size(); ++i) {
+      r.length += l1_dist(simp[i - 1].pt(), simp[i].pt());
+    }
+    r.points = std::move(simp);
+    out.push_back(std::move(r));
+  };
+
+  std::vector<char> settled(num_states, 0);
+  while (!pq.empty() && found < wanted &&
+         out.size() < max_results) {
+    const auto [d_cur, state] = pq.top();
+    pq.pop();
+    if (settled[static_cast<std::size_t>(state)]) continue;
+    settled[static_cast<std::size_t>(state)] = 1;
+    const int dir = state % 5;
+    const int cell = state / 5;
+    const int xi = cell % nx;
+    const int yi = (cell / nx) % ny;
+    const int l = cell / (nx * ny);
+    const Point p{grid.xs[static_cast<std::size_t>(xi)],
+                  grid.ys[static_cast<std::size_t>(yi)]};
+    settle_target(state, l, xi, yi);
+
+    const Coord tau_l = layers_[static_cast<std::size_t>(l)].tau;
+
+    // Straight continuation (no bend).
+    auto straight = [&](int dxi, int dyi, int d) {
+      const int nxi = xi + dxi;
+      const int nyi = yi + dyi;
+      if (nxi < 0 || nxi >= nx || nyi < 0 || nyi >= ny) return;
+      const Point q{grid.xs[static_cast<std::size_t>(nxi)],
+                    grid.ys[static_cast<std::size_t>(nyi)]};
+      if (!segment_free(l, p, q)) return;
+      relax(state, state_id(l, nxi, nyi, d),
+            l1_dist(p, q) * weight(l, dyi == 0));
+    };
+    // Turn / fresh start: jump to the nearest vertex at distance >= τ.
+    auto turn = [&](int d) {
+      int j, nxi = xi, nyi = yi;
+      if (d == kEast || d == kWest) {
+        j = jump_index(grid.xs, xi, d == kEast ? 1 : -1, tau_l);
+        if (j < 0) return;
+        nxi = j;
+      } else {
+        j = jump_index(grid.ys, yi, d == kNorth ? 1 : -1, tau_l);
+        if (j < 0) return;
+        nyi = j;
+      }
+      const Point q{grid.xs[static_cast<std::size_t>(nxi)],
+                    grid.ys[static_cast<std::size_t>(nyi)]};
+      if (!segment_free(l, p, q)) return;
+      relax(state, state_id(l, nxi, nyi, d),
+            l1_dist(p, q) * weight(l, d == kEast || d == kWest));
+    };
+
+    if (dir == kEast || dir == kWest) {
+      straight(dir == kEast ? 1 : -1, 0, dir);
+      turn(kNorth);
+      turn(kSouth);
+    } else if (dir == kNorth || dir == kSouth) {
+      straight(0, dir == kNorth ? 1 : -1, dir);
+      turn(kEast);
+      turn(kWest);
+    } else {  // kFresh: all four directions, each must run >= τ
+      turn(kEast);
+      turn(kWest);
+      turn(kNorth);
+      turn(kSouth);
+    }
+
+    // Vias: end the segment; continuation is fresh on the other layer.
+    for (int nl : {l - 1, l + 1}) {
+      if (nl < 0 || nl >= L) continue;
+      if (!point_free(nl, p)) continue;
+      relax(state, state_id(nl, xi, yi, kFresh), via_cost_);
+    }
+  }
+}
+
+std::optional<TauPathResult> TauPathSearch::shortest(
+    const PointL& source, std::span<const PointL> targets) const {
+  std::vector<TauPathResult> out;
+  run(source, targets, 1, out);
+  if (out.empty()) return std::nullopt;
+  return out.front();
+}
+
+std::vector<TauPathResult> TauPathSearch::all_paths(
+    const PointL& source, std::span<const PointL> targets,
+    std::size_t max_results) const {
+  std::vector<TauPathResult> out;
+  run(source, targets, max_results, out);
+  return out;
+}
+
+}  // namespace bonn

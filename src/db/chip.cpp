@@ -1,0 +1,48 @@
+#include "src/db/chip.hpp"
+
+namespace bonn {
+
+std::vector<Point> Chip::net_terminals(int net) const {
+  std::vector<Point> out;
+  const Net& n = nets[static_cast<std::size_t>(net)];
+  out.reserve(n.pins.size());
+  for (int pid : n.pins) out.push_back(pins[static_cast<std::size_t>(pid)].anchor());
+  return out;
+}
+
+std::vector<Shape> Chip::fixed_shapes() const {
+  std::vector<Shape> out = blockages;
+  for (const Pin& p : pins) {
+    for (const RectL& rl : p.shapes) {
+      out.push_back(Shape{rl.r, global_of_wiring(rl.layer), ShapeKind::kPin,
+                          /*cls=*/0, p.net});
+    }
+  }
+  return out;
+}
+
+Coord RoutingResult::total_wirelength() const {
+  Coord len = 0;
+  for (const auto& paths : net_paths) {
+    for (const RoutedPath& p : paths) len += p.wirelength();
+  }
+  return len;
+}
+
+std::int64_t RoutingResult::via_count() const {
+  std::int64_t vias = 0;
+  for (const auto& paths : net_paths) {
+    for (const RoutedPath& p : paths) vias += static_cast<std::int64_t>(p.vias.size());
+  }
+  return vias;
+}
+
+Coord RoutingResult::net_wirelength(int net) const {
+  Coord len = 0;
+  for (const RoutedPath& p : net_paths[static_cast<std::size_t>(net)]) {
+    len += p.wirelength();
+  }
+  return len;
+}
+
+}  // namespace bonn

@@ -1,0 +1,79 @@
+// The design database: pins, nets, blockages and the chip container.
+//
+// A Chip is the router's input: a technology, a die area, fixed shapes
+// (blockages, power pre-routes) and a netlist whose pins carry real shapes
+// on wiring layers — partly off-track, as §1.1 stresses ("pins are often not
+// perfectly aligned and have many blockages around them").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/geom/rect.hpp"
+#include "src/tech/shapes.hpp"
+#include "src/tech/stick.hpp"
+#include "src/tech/tech.hpp"
+
+namespace bonn {
+
+struct Pin {
+  int id = -1;
+  int net = -1;
+  /// Metal shapes of the pin; layer is a wiring layer index.
+  std::vector<RectL> shapes;
+
+  /// Representative point (centre of the first shape) — used for Steiner
+  /// length estimates and tile mapping.
+  Point anchor() const {
+    return shapes.empty() ? Point{} : shapes.front().r.center();
+  }
+  int anchor_layer() const { return shapes.empty() ? 0 : shapes.front().layer; }
+};
+
+struct Net {
+  int id = -1;
+  std::string name;
+  std::vector<int> pins;  ///< indices into Chip::pins
+  int wiretype = 0;
+  double weight = 1.0;  ///< criticality weight (timing-driven nets)
+
+  int degree() const { return static_cast<int>(pins.size()); }
+};
+
+class Chip {
+ public:
+  Tech tech;
+  Rect die;
+  std::vector<Pin> pins;
+  std::vector<Net> nets;
+  /// Fixed shapes: macro blockages, power stripes, pre-routed clock.  These
+  /// participate in diff-net rules but are never ripped up.
+  std::vector<Shape> blockages;
+
+  int num_nets() const { return static_cast<int>(nets.size()); }
+
+  /// Anchor points of all pins of a net (Steiner terminals).
+  std::vector<Point> net_terminals(int net) const;
+
+  /// Total pin count.
+  int num_pins() const { return static_cast<int>(pins.size()); }
+
+  /// All fixed shapes + pin shapes as Shape records (what gets preloaded
+  /// into the routing-space data structures).
+  std::vector<Shape> fixed_shapes() const;
+};
+
+/// A complete routing result: paths per net.
+struct RoutingResult {
+  std::vector<std::vector<RoutedPath>> net_paths;
+
+  explicit RoutingResult(int num_nets = 0)
+      : net_paths(static_cast<std::size_t>(num_nets)) {}
+
+  Coord total_wirelength() const;
+  std::int64_t via_count() const;
+  /// Wirelength of one net.
+  Coord net_wirelength(int net) const;
+};
+
+}  // namespace bonn

@@ -1,0 +1,313 @@
+#include "src/db/instance_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// A free pin slot produced by cell generation.
+struct PinSlot {
+  Point at;      ///< lower-left of the pin shape
+  Coord w, h;    ///< pin shape extents
+  int layer;     ///< wiring layer
+  bool used = false;
+};
+
+/// Terminal-count distribution matching the classes of Table II.
+int sample_degree(Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.60) return 2;
+  if (u < 0.78) return 3;
+  if (u < 0.86) return 4;
+  if (u < 0.96) return static_cast<int>(rng.range(5, 10));
+  if (u < 0.99) return static_cast<int>(rng.range(11, 20));
+  return static_cast<int>(rng.range(21, 32));
+}
+
+}  // namespace
+
+Chip generate_chip(const ChipParams& params) {
+  BONN_CHECK(params.layers >= 3);
+  BONN_CHECK(params.num_nets > 0);
+  Rng rng(params.seed);
+
+  Chip chip;
+  chip.tech = Tech::make_test(params.layers);
+  const Coord pitch = params.pitch();
+  chip.die = Rect{0, 0, params.die_w(), params.die_h()};
+
+  // ---- Macros: multi-layer blockages with a halo, kept off the die edge.
+  std::vector<Rect> macro_rects;
+  const Coord tile_w = Coord(params.tracks_per_tile) * pitch;
+  for (int m = 0; m < params.num_macros; ++m) {
+    const Coord w = tile_w + rng.range(0, tile_w / 2);
+    const Coord h = tile_w + rng.range(0, tile_w / 2);
+    Rect r;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const Coord x = rng.range(tile_w / 2, chip.die.xhi - tile_w / 2 - w);
+      const Coord y = rng.range(tile_w / 2, chip.die.yhi - tile_w / 2 - h);
+      r = Rect{x, y, x + w, y + h};
+      bool clear = true;
+      for (const Rect& o : macro_rects) {
+        if (r.expanded(2 * pitch).intersects(o)) clear = false;
+      }
+      if (clear) break;
+      r = Rect{};
+    }
+    if (r.empty()) continue;
+    macro_rects.push_back(r);
+    // Macros block the bottom three wiring layers (and the via layers in
+    // between, via the wiring blockage semantics of the shape grid).
+    const int blocked_layers = std::min(3, params.layers - 1);
+    for (int l = 0; l < blocked_layers; ++l) {
+      chip.blockages.push_back(Shape{r, global_of_wiring(l),
+                                     ShapeKind::kBlockage, /*cls=*/0,
+                                     /*net=*/-1});
+    }
+  }
+
+  // ---- Power stripes: wide pre-routes on the two top layers.
+  if (params.power_stripes && params.layers >= 4) {
+    const Coord stripe_w = 300;
+    const int period_tracks = 24;
+    const int top = params.layers - 1;
+    const int below_top = params.layers - 2;
+    for (int l : {below_top, top}) {
+      const Dir d = chip.tech.pref(l);
+      const Coord span_max =
+          (d == Dir::kVertical) ? chip.die.xhi : chip.die.yhi;
+      for (Coord c = period_tracks * pitch; c + stripe_w < span_max;
+           c += period_tracks * pitch) {
+        Rect r = (d == Dir::kVertical)
+                     ? Rect{c, chip.die.ylo, c + stripe_w, chip.die.yhi}
+                     : Rect{chip.die.xlo, c, chip.die.xhi, c + stripe_w};
+        chip.blockages.push_back(Shape{r, global_of_wiring(l),
+                                       ShapeKind::kBlockage, /*cls=*/1,
+                                       /*net=*/-1});
+      }
+    }
+  }
+
+  auto under_blockage = [&](const Rect& r) {
+    const Rect halo = r.expanded(pitch);
+    for (const Rect& m : macro_rects) {
+      if (halo.intersects(m)) return true;
+    }
+    return false;
+  };
+
+  // ---- Standard cell rows with pins (wiring layer 0, partly off-track).
+  const Coord row_h = 8 * pitch;
+  const Coord site = pitch;
+  const int degree_budget = params.num_nets * 4;  // E[degree] ~ 3.4, + slack
+  std::vector<PinSlot> slots;
+  slots.reserve(static_cast<std::size_t>(degree_budget) * 2);
+  for (Coord row_y = pitch; row_y + row_h < chip.die.yhi &&
+                            static_cast<int>(slots.size()) < degree_budget * 2;
+       row_y += row_h) {
+    Coord x = pitch;
+    while (x + 8 * site < chip.die.xhi) {
+      const Coord cell_w = site * rng.range(2, 8);
+      const Rect cell{x, row_y, x + cell_w, row_y + row_h / 2};
+      x += cell_w + site * rng.range(0, 3);  // ~75 % row utilization
+      if (under_blockage(cell)) continue;
+      const int pins_in_cell = static_cast<int>(rng.range(2, 4));
+      for (int p = 0; p < pins_in_cell; ++p) {
+        PinSlot s;
+        // Pin x lands near a site boundary with a sub-pitch jitter: this is
+        // what makes pins off-track and forces §4.3-style pin access.  Real
+        // cell libraries guarantee accessible pins, so slots too close to an
+        // already placed one are rejected below.
+        const Coord px = cell.xlo +
+                         site * rng.range(0, std::max<Coord>(1, cell_w / site - 1)) +
+                         rng.range(-20, 20);
+        const Coord py = cell.ylo + rng.range(0, row_h / 2 - 150);
+        s.at = {std::clamp(px, chip.die.xlo + 50, chip.die.xhi - 200),
+                std::clamp(py, chip.die.ylo + 50, chip.die.yhi - 200)};
+        s.w = 50;
+        s.h = 50 + 50 * rng.range(0, 2);
+        s.layer = 0;
+        // Accessibility guard: keep a free corridor around every pin — any
+        // earlier slot must be at least 130 away in x or 250 away in y.
+        bool clear = true;
+        for (auto it = slots.rbegin(); it != slots.rend(); ++it) {
+          if (s.at.y - it->at.y > 1200) break;  // slots are row-ordered
+          if (abs_diff(it->at.x, s.at.x) < 130 &&
+              abs_diff(it->at.y, s.at.y) < 250) {
+            clear = false;
+            break;
+          }
+        }
+        if (clear) slots.push_back(s);
+      }
+    }
+  }
+  BONN_CHECK_MSG(static_cast<int>(slots.size()) >= params.num_nets * 2,
+                 "die too small for requested net count");
+
+  // Spatial buckets over pin slots for locality sampling.
+  const Coord bucket_w = tile_w;
+  const int bx = static_cast<int>((chip.die.xhi + bucket_w - 1) / bucket_w);
+  const int by = static_cast<int>((chip.die.yhi + bucket_w - 1) / bucket_w);
+  std::vector<std::vector<int>> buckets(static_cast<std::size_t>(bx * by));
+  auto bucket_of = [&](const Point& p) {
+    const int ix = std::clamp(static_cast<int>(p.x / bucket_w), 0, bx - 1);
+    const int iy = std::clamp(static_cast<int>(p.y / bucket_w), 0, by - 1);
+    return iy * bx + ix;
+  };
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    buckets[static_cast<std::size_t>(bucket_of(slots[i].at))].push_back(
+        static_cast<int>(i));
+  }
+
+  auto take_free_in_bucket = [&](int b) -> int {
+    auto& v = buckets[static_cast<std::size_t>(b)];
+    while (!v.empty()) {
+      const std::size_t k = rng.below(v.size());
+      const int idx = v[k];
+      v[k] = v.back();
+      v.pop_back();
+      if (!slots[static_cast<std::size_t>(idx)].used) return idx;
+    }
+    return -1;
+  };
+
+  auto take_near = [&](const Point& centre, int radius_buckets) -> int {
+    const int cx = bucket_of(centre) % bx;
+    const int cy = bucket_of(centre) / bx;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const int ix = std::clamp(
+          cx + static_cast<int>(rng.range(-radius_buckets, radius_buckets)), 0,
+          bx - 1);
+      const int iy = std::clamp(
+          cy + static_cast<int>(rng.range(-radius_buckets, radius_buckets)), 0,
+          by - 1);
+      const int idx = take_free_in_bucket(iy * bx + ix);
+      if (idx >= 0) return idx;
+    }
+    return -1;
+  };
+
+  auto take_anywhere = [&]() -> int {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const int idx = take_free_in_bucket(
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(bx * by))));
+      if (idx >= 0) return idx;
+    }
+    // Linear fallback.
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (!slots[i].used) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // ---- Netlist.
+  for (int n = 0; n < params.num_nets; ++n) {
+    const int degree = sample_degree(rng);
+    const int root = take_anywhere();
+    if (root < 0) break;
+    std::vector<int> chosen{root};
+    slots[static_cast<std::size_t>(root)].used = true;
+    const Point centre = slots[static_cast<std::size_t>(root)].at;
+    for (int t = 1; t < degree; ++t) {
+      int idx = -1;
+      if (!rng.flip(params.far_pin_prob)) idx = take_near(centre, 2);
+      if (idx < 0) idx = take_anywhere();
+      if (idx < 0) break;
+      slots[static_cast<std::size_t>(idx)].used = true;
+      chosen.push_back(idx);
+    }
+    if (chosen.size() < 2) {
+      // Could not find a partner pin; undo and stop generating nets.
+      slots[static_cast<std::size_t>(root)].used = false;
+      break;
+    }
+    Net net;
+    net.id = static_cast<int>(chip.nets.size());
+    net.name = "n" + std::to_string(net.id);
+    net.wiretype = rng.flip(params.wide_net_fraction) ? 1 : 0;
+    net.weight = rng.flip(0.1) ? 4.0 : 1.0;
+    for (int idx : chosen) {
+      const PinSlot& s = slots[static_cast<std::size_t>(idx)];
+      Pin pin;
+      pin.id = static_cast<int>(chip.pins.size());
+      pin.net = net.id;
+      pin.shapes.push_back(
+          RectL{Rect{s.at.x, s.at.y, s.at.x + s.w, s.at.y + s.h}, s.layer});
+      net.pins.push_back(pin.id);
+      chip.pins.push_back(std::move(pin));
+    }
+    chip.nets.push_back(std::move(net));
+  }
+  return chip;
+}
+
+Chip make_tiny_chip(int layers) {
+  Chip chip;
+  chip.tech = Tech::make_test(layers);
+  chip.die = Rect{0, 0, 4000, 4000};
+
+  auto add_net = [&](const std::vector<Point>& pts, int wiretype) {
+    Net net;
+    net.id = static_cast<int>(chip.nets.size());
+    net.name = "t" + std::to_string(net.id);
+    net.wiretype = wiretype;
+    for (const Point& p : pts) {
+      Pin pin;
+      pin.id = static_cast<int>(chip.pins.size());
+      pin.net = net.id;
+      pin.shapes.push_back(RectL{Rect{p.x, p.y, p.x + 50, p.y + 100}, 0});
+      net.pins.push_back(pin.id);
+      chip.pins.push_back(std::move(pin));
+    }
+    chip.nets.push_back(std::move(net));
+  };
+
+  add_net({{200, 200}, {3400, 3000}}, 0);
+  add_net({{200, 3200}, {3200, 400}, {1800, 800}}, 0);
+  add_net({{600, 600}, {700, 2800}}, 0);
+  add_net({{2500, 500}, {2600, 3400}, {900, 900}, {3300, 1700}}, 0);
+  // A blockage in the middle that forces detours on the bottom layers.
+  chip.blockages.push_back(Shape{Rect{1500, 1200, 2100, 2600},
+                                 global_of_wiring(0), ShapeKind::kBlockage, 0,
+                                 -1});
+  if (layers > 1) {
+    chip.blockages.push_back(Shape{Rect{1500, 1200, 2100, 2600},
+                                   global_of_wiring(1), ShapeKind::kBlockage, 0,
+                                   -1});
+  }
+  return chip;
+}
+
+std::vector<ChipParams> paper_chip_suite(int scale_num_nets) {
+  // Mirrors the relative sizes of the paper's chips 1..8 (120k..960k nets)
+  // scaled down by `scale_num_nets` per base unit (chip 1 = 1.0x).
+  const double rel[8] = {1.00, 1.05, 1.07, 1.12, 3.18, 3.63, 3.86, 7.97};
+  std::vector<ChipParams> suite;
+  for (int i = 0; i < 8; ++i) {
+    ChipParams p;
+    p.num_nets = static_cast<int>(rel[i] * scale_num_nets);
+    // Keep density comparable: grow the die with the netlist.  The track
+    // supply is sized so global utilization λ lands in the paper's regime
+    // (busy but feasible) rather than leaving the graph empty.
+    const double area_scale = std::sqrt(rel[i]);
+    p.tiles_x = std::max(5, static_cast<int>(std::lround(6 * area_scale)));
+    p.tiles_y = p.tiles_x;
+    p.tracks_per_tile = 30;
+    p.layers = 6;
+    p.num_macros = (i >= 4) ? 4 : 2;
+    // Chips 5 and 8 are the paper's 32 nm designs: coarser flavour — fewer
+    // but larger macros and more wide nets.
+    p.wide_net_fraction = (i == 4 || i == 7) ? 0.06 : 0.03;
+    p.seed = 1000 + static_cast<std::uint64_t>(i);
+    suite.push_back(p);
+  }
+  return suite;
+}
+
+}  // namespace bonn

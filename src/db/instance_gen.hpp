@@ -1,0 +1,45 @@
+// Synthetic chip instance generator.
+//
+// Stands in for the proprietary IBM 22 nm / 32 nm designs of §5.3 (see
+// DESIGN.md).  Generates standard-cell rows with partly off-track pins, macro
+// blockages with halos, power stripes on the upper layers, and a netlist with
+// the paper's terminal-count mix (Table II classes) and spatial locality.
+// Fully deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "src/db/chip.hpp"
+
+namespace bonn {
+
+struct ChipParams {
+  int layers = 6;          ///< wiring layers (alternating H/V, M1 horizontal)
+  int tiles_x = 8;         ///< global routing tiles in x
+  int tiles_y = 8;         ///< global routing tiles in y
+  int tracks_per_tile = 50;  ///< §2.1: 50..100 wires fit a tile per layer
+  int num_nets = 2000;
+  int num_macros = 2;        ///< large multi-layer blockages
+  bool power_stripes = true; ///< wide pre-routes on the two top layers
+  double wide_net_fraction = 0.03;  ///< nets using the wide wiretype
+  double far_pin_prob = 0.08;       ///< chance a net terminal is non-local
+  std::uint64_t seed = 1;
+
+  Coord pitch() const { return 100; }
+  Coord die_w() const { return Coord(tiles_x) * tracks_per_tile * pitch(); }
+  Coord die_h() const { return Coord(tiles_y) * tracks_per_tile * pitch(); }
+};
+
+/// Generate a synthetic chip.  Guarantees: every pin lies on the die, no pin
+/// is under a macro or power stripe, every net has >= 2 pins.
+Chip generate_chip(const ChipParams& params);
+
+/// A miniature handcrafted chip (few nets, known geometry) for unit tests.
+Chip make_tiny_chip(int layers = 4);
+
+/// The eight-chip suite used by the Table I/III harnesses: scaled-down
+/// analogues of the paper's chips 1..8 (growing net counts, two "32 nm-like"
+/// entries with a coarser rule flavour).
+std::vector<ChipParams> paper_chip_suite(int scale_num_nets = 1500);
+
+}  // namespace bonn

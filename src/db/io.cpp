@@ -1,0 +1,199 @@
+#include "src/db/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& what) {
+  throw std::runtime_error("chip/result parse error: " + what);
+}
+
+std::string expect_line(std::istream& is, const char* what) {
+  std::string line;
+  if (!std::getline(is, line)) parse_error(std::string("eof before ") + what);
+  return line;
+}
+
+}  // namespace
+
+void write_chip(std::ostream& os, const Chip& chip) {
+  os << "BONNCHIP v1\n";
+  os << "tech " << chip.tech.num_wiring() << "\n";
+  os << "die " << chip.die.xlo << ' ' << chip.die.ylo << ' ' << chip.die.xhi
+     << ' ' << chip.die.yhi << "\n";
+  for (const Shape& b : chip.blockages) {
+    os << "blockage " << b.global_layer << ' ' << b.cls << ' ' << b.rect.xlo
+       << ' ' << b.rect.ylo << ' ' << b.rect.xhi << ' ' << b.rect.yhi << "\n";
+  }
+  for (const Net& n : chip.nets) {
+    os << "net " << n.name << ' ' << n.wiretype << ' ' << n.weight << ' '
+       << n.pins.size() << "\n";
+    for (int pid : n.pins) {
+      const Pin& p = chip.pins[static_cast<std::size_t>(pid)];
+      BONN_CHECK(!p.shapes.empty());
+      for (const RectL& rl : p.shapes) {
+        os << "pin " << rl.layer << ' ' << rl.r.xlo << ' ' << rl.r.ylo << ' '
+           << rl.r.xhi << ' ' << rl.r.yhi << "\n";
+      }
+      os << "endpin\n";
+    }
+  }
+  os << "endchip\n";
+}
+
+Chip read_chip(std::istream& is) {
+  Chip chip;
+  if (expect_line(is, "header") != "BONNCHIP v1") parse_error("bad header");
+  std::string line;
+  int layers = 0;
+  {
+    std::istringstream ls(expect_line(is, "tech"));
+    std::string tag;
+    ls >> tag >> layers;
+    if (tag != "tech" || layers < 2) parse_error("tech line");
+    chip.tech = Tech::make_test(layers);
+  }
+  {
+    std::istringstream ls(expect_line(is, "die"));
+    std::string tag;
+    ls >> tag >> chip.die.xlo >> chip.die.ylo >> chip.die.xhi >> chip.die.yhi;
+    if (tag != "die") parse_error("die line");
+  }
+  Net* cur_net = nullptr;
+  Pin* cur_pin = nullptr;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "endchip") return chip;
+    if (tag == "blockage") {
+      Shape s;
+      s.kind = ShapeKind::kBlockage;
+      s.net = -1;
+      ls >> s.global_layer >> s.cls >> s.rect.xlo >> s.rect.ylo >> s.rect.xhi >>
+          s.rect.yhi;
+      chip.blockages.push_back(s);
+    } else if (tag == "net") {
+      Net n;
+      std::size_t npins = 0;
+      ls >> n.name >> n.wiretype >> n.weight >> npins;
+      n.id = static_cast<int>(chip.nets.size());
+      chip.nets.push_back(std::move(n));
+      cur_net = &chip.nets.back();
+      cur_pin = nullptr;
+    } else if (tag == "pin") {
+      if (!cur_net) parse_error("pin outside net");
+      RectL rl;
+      ls >> rl.layer >> rl.r.xlo >> rl.r.ylo >> rl.r.xhi >> rl.r.yhi;
+      if (!cur_pin) {
+        Pin p;
+        p.id = static_cast<int>(chip.pins.size());
+        p.net = cur_net->id;
+        chip.pins.push_back(std::move(p));
+        cur_net->pins.push_back(chip.pins.back().id);
+        cur_pin = &chip.pins.back();
+      }
+      cur_pin->shapes.push_back(rl);
+    } else if (tag == "endpin") {
+      cur_pin = nullptr;
+    } else if (!tag.empty()) {
+      parse_error("unknown record '" + tag + "'");
+    }
+  }
+  parse_error("missing endchip");
+}
+
+void write_result(std::ostream& os, const RoutingResult& result) {
+  os << "BONNRESULT v1\n";
+  os << "nets " << result.net_paths.size() << "\n";
+  for (std::size_t net = 0; net < result.net_paths.size(); ++net) {
+    for (const RoutedPath& p : result.net_paths[net]) {
+      os << "path " << net << ' ' << p.wiretype << ' ' << p.wires.size() << ' '
+         << p.vias.size() << "\n";
+      for (const WireStick& w : p.wires) {
+        os << "w " << w.layer << ' ' << w.a.x << ' ' << w.a.y << ' ' << w.b.x
+           << ' ' << w.b.y << "\n";
+      }
+      for (const ViaStick& v : p.vias) {
+        os << "v " << v.below << ' ' << v.at.x << ' ' << v.at.y << "\n";
+      }
+    }
+  }
+  os << "endresult\n";
+}
+
+RoutingResult read_result(std::istream& is) {
+  if (expect_line(is, "header") != "BONNRESULT v1") parse_error("bad header");
+  std::size_t nets = 0;
+  {
+    std::istringstream ls(expect_line(is, "nets"));
+    std::string tag;
+    ls >> tag >> nets;
+    if (tag != "nets") parse_error("nets line");
+  }
+  RoutingResult result(static_cast<int>(nets));
+  std::string line;
+  RoutedPath* cur = nullptr;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "endresult") return result;
+    if (tag == "path") {
+      std::size_t net = 0, nw = 0, nv = 0;
+      int wt = 0;
+      ls >> net >> wt >> nw >> nv;
+      if (net >= nets) parse_error("path net out of range");
+      RoutedPath p;
+      p.net = static_cast<int>(net);
+      p.wiretype = wt;
+      result.net_paths[net].push_back(std::move(p));
+      cur = &result.net_paths[net].back();
+    } else if (tag == "w") {
+      if (!cur) parse_error("wire outside path");
+      WireStick w;
+      ls >> w.layer >> w.a.x >> w.a.y >> w.b.x >> w.b.y;
+      cur->wires.push_back(w);
+    } else if (tag == "v") {
+      if (!cur) parse_error("via outside path");
+      ViaStick v;
+      ls >> v.below >> v.at.x >> v.at.y;
+      cur->vias.push_back(v);
+    } else if (!tag.empty()) {
+      parse_error("unknown record '" + tag + "'");
+    }
+  }
+  parse_error("missing endresult");
+}
+
+void save_chip(const std::string& path, const Chip& chip) {
+  std::ofstream os(path);
+  BONN_CHECK_MSG(os.good(), "cannot open " + path);
+  write_chip(os, chip);
+}
+
+Chip load_chip(const std::string& path) {
+  std::ifstream is(path);
+  BONN_CHECK_MSG(is.good(), "cannot open " + path);
+  return read_chip(is);
+}
+
+void save_result(const std::string& path, const RoutingResult& result) {
+  std::ofstream os(path);
+  BONN_CHECK_MSG(os.good(), "cannot open " + path);
+  write_result(os, result);
+}
+
+RoutingResult load_result(const std::string& path) {
+  std::ifstream is(path);
+  BONN_CHECK_MSG(is.good(), "cannot open " + path);
+  return read_result(is);
+}
+
+}  // namespace bonn

@@ -1,0 +1,31 @@
+// Plain-text persistence for chips and routing results.
+//
+// A miniature stand-in for the LEF/DEF pair an industrial router would
+// read/write: enough to save a generated instance, reload it bit-exactly,
+// and exchange routing results between runs (golden tests, external
+// analysis).  One line per record, whitespace-separated, version-tagged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/db/chip.hpp"
+
+namespace bonn {
+
+void write_chip(std::ostream& os, const Chip& chip);
+/// Parses a chip written by write_chip.  Throws std::runtime_error on
+/// malformed input.  The technology is reconstructed via Tech::make_test
+/// with the stored layer count (the generator's deck is canonical).
+Chip read_chip(std::istream& is);
+
+void write_result(std::ostream& os, const RoutingResult& result);
+RoutingResult read_result(std::istream& is);
+
+// File-path convenience wrappers.
+void save_chip(const std::string& path, const Chip& chip);
+Chip load_chip(const std::string& path);
+void save_result(const std::string& path, const RoutingResult& result);
+RoutingResult load_result(const std::string& path);
+
+}  // namespace bonn

@@ -1,0 +1,83 @@
+#include "src/detailed/future_cost.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+FutureCost::FutureCost(std::vector<RectL> target_rects, int num_layers,
+                       Coord via_cost)
+    : targets_(std::move(target_rects)) {
+  BONN_CHECK(!targets_.empty());
+  via_lb_.assign(static_cast<std::size_t>(num_layers),
+                 std::numeric_limits<Coord>::max() / 4);
+  for (const RectL& t : targets_) {
+    for (int l = 0; l < num_layers; ++l) {
+      const Coord chain = via_cost * abs_diff(l, t.layer);
+      via_lb_[static_cast<std::size_t>(l)] =
+          std::min(via_lb_[static_cast<std::size_t>(l)], chain);
+    }
+  }
+}
+
+void FutureCost::add_tile_bounds(
+    std::vector<std::pair<Rect, Coord>> tile_bounds) {
+  tile_bounds_ = std::move(tile_bounds);
+  std::erase_if(tile_bounds_, [](const auto& tb) { return tb.second <= 0; });
+}
+
+Coord FutureCost::lb_wire(const Point& p) const {
+  Coord lb = std::numeric_limits<Coord>::max();
+  for (const RectL& t : targets_) lb = std::min(lb, t.r.l1_dist(p));
+  // π_P refinement: Lipschitz extension of the per-tile BFS bounds.
+  for (const auto& [rect, bound] : tile_bounds_) {
+    lb = std::max(lb, bound - rect.l1_dist(p));
+  }
+  return std::max<Coord>(lb, 0);
+}
+
+std::vector<std::pair<Rect, Coord>> corridor_tile_bounds(
+    const std::vector<Rect>& corridor, const std::vector<bool>& target_tiles) {
+  BONN_CHECK(corridor.size() == target_tiles.size());
+  const std::size_t n = corridor.size();
+  std::vector<int> steps(n, -1);
+  std::queue<std::size_t> bfs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (target_tiles[i]) {
+      steps[i] = 0;
+      bfs.push(i);
+    }
+  }
+  auto adjacent = [&](std::size_t a, std::size_t b) {
+    const Rect& ra = corridor[a];
+    const Rect& rb = corridor[b];
+    return ra.intersects(rb);  // tiles share a border (closed rects touch)
+  };
+  while (!bfs.empty()) {
+    const std::size_t cur = bfs.front();
+    bfs.pop();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (steps[j] < 0 && adjacent(cur, j)) {
+        steps[j] = steps[cur] + 1;
+        bfs.push(j);
+      }
+    }
+  }
+  Coord min_dim = std::numeric_limits<Coord>::max();
+  for (const Rect& r : corridor) {
+    min_dim = std::min(min_dim, std::min(r.width(), r.height()));
+  }
+  std::vector<std::pair<Rect, Coord>> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Coord bound =
+        steps[i] <= 1 ? 0 : (steps[i] - 1) * min_dim;
+    out.push_back({corridor[i], bound});
+  }
+  return out;
+}
+
+}  // namespace bonn

@@ -1,0 +1,54 @@
+// Future costs for the on-track path search (§4.1).
+//
+// π_H(x, y, z) = lb_wire(x, y) + lb_via(z): the ℓ1 distance to the target
+// rectangles plus the cheapest via chain to a target layer [Hetzel 1998].
+// π_P strengthens π_H with a blockage/corridor-aware tile bound in the
+// spirit of [Peyer et al. 2009]: per routing-area tile, a BFS distance to
+// the target tiles yields a per-tile lower bound B(t); its 1-Lipschitz
+// extension  max_t (B(t) − dist(p, t))  is admissible and consistent, so
+// Dijkstra with reduced costs stays correct.  π_P ≥ π_H by construction
+// (the max of the two is used), and the paper's policy is reproduced: π_P
+// only for connections whose global route already detours.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/rect.hpp"
+
+namespace bonn {
+
+class FutureCost {
+ public:
+  /// `target_rects`: covering of the target vertices per layer (T_rect).
+  /// `via_cost`: γ, the via penalty used by the search.
+  FutureCost(std::vector<RectL> target_rects, int num_layers, Coord via_cost);
+
+  /// Add the π_P tile refinement: `tiles` with per-tile lower bounds
+  /// (already in cost units).  Entries with bound 0 are no-ops.
+  void add_tile_bounds(std::vector<std::pair<Rect, Coord>> tile_bounds);
+
+  Coord lb_wire(const Point& p) const;
+  Coord lb_via(int layer) const {
+    return via_lb_[static_cast<std::size_t>(layer)];
+  }
+
+  Coord operator()(const PointL& p) const {
+    return lb_wire({p.x, p.y}) + lb_via(p.layer);
+  }
+
+  bool has_tile_bounds() const { return !tile_bounds_.empty(); }
+
+ private:
+  std::vector<RectL> targets_;
+  std::vector<Coord> via_lb_;  ///< per layer
+  std::vector<std::pair<Rect, Coord>> tile_bounds_;
+};
+
+/// Compute π_P tile bounds for a routing corridor: BFS step counts from the
+/// target tiles through the corridor tiles, scaled to (steps-1) * min tile
+/// dimension.  `corridor` are the allowed tiles; `target_tiles` flags which
+/// of them contain targets.
+std::vector<std::pair<Rect, Coord>> corridor_tile_bounds(
+    const std::vector<Rect>& corridor, const std::vector<bool>& target_tiles);
+
+}  // namespace bonn

@@ -1,0 +1,118 @@
+// Connecting nets (§4.4) — the detailed-routing driver.
+//
+// Per net: build pin-access catalogues and a conflict-free primary access
+// selection (§4.3); then repeatedly pick an unconnected component, build the
+// source/target vertex sets (access endpoints + vertices of already routed
+// paths), temporarily remove the components' shapes from routing space,
+// run the on-track interval search inside the global-routing corridor, and
+// commit the found path (with its off-track access tails).  Failures trigger
+// rip-up sequences with bounded depth; ripped nets are rerouted.  After a
+// net completes, a postprocessing step repairs same-net violations (minimum
+// area patches) exactly where §4.4 says they occur.
+#pragma once
+
+#include "src/detailed/ontrack_search.hpp"
+#include "src/detailed/pin_access.hpp"
+#include "src/detailed/vertex_search.hpp"
+#include "src/global/global_router.hpp"
+
+namespace bonn {
+
+struct NetRouteParams {
+  SearchParams search;
+  PinAccessParams access;
+  int corridor_halo = 1;       ///< tiles added around the global route
+  int max_rip_depth = 2;       ///< bound on rip-up recursion (§4.4)
+  int rounds = 3;              ///< escalation rounds (ripup, wider area)
+  double detour_for_pi_p = 1.3;  ///< use π_P when corridor detours this much
+  // --- ISR-baseline behaviour switches (§5.3's industry standard router
+  // "completes the routing in purely gridless fashion"): ---
+  bool vertex_search = false;  ///< per-vertex maze instead of Algorithm 4
+  bool greedy_access = false;  ///< greedy pin access instead of conflict-free
+  bool use_pi_p = true;        ///< disable for ablation
+  /// Restrict the first-round search to the global route's layers ± 1
+  /// (§4.4's 3D routing area); escalation rounds lift it.  The ISR baseline
+  /// routes "in purely gridless fashion" and leaves this off.
+  bool layer_corridor = true;
+  /// Last-resort mode (§5.2 philosophy): commit a found path even if the
+  /// final verification still sees violations — connectivity first, the
+  /// external DRC cleanup deals with the remainder.
+  bool commit_despite_violations = false;
+};
+
+struct DetailedStats {
+  int connections_routed = 0;
+  int connections_failed = 0;
+  int nets_failed = 0;
+  int ripups = 0;          ///< nets ripped and rerouted
+  int pi_p_used = 0;       ///< searches that enabled the π_P refinement
+  SearchStats search;
+  double seconds = 0;
+};
+
+class NetRouter {
+ public:
+  NetRouter(RoutingSpace& rs) : rs_(&rs), access_(rs), search_(rs) {}
+
+  /// Provide global-routing corridors (optional — without them the corridor
+  /// is the net bounding box plus a margin).
+  void set_global(const GlobalRouter* gr,
+                  const std::vector<SteinerSolution>* routes) {
+    global_ = gr;
+    global_routes_ = routes;
+  }
+
+  /// Wire spreading (§4.2): planar zones with extra search cost, derived
+  /// from the congestion observed by global routing.
+  void set_spread_zones(std::vector<std::pair<Rect, Coord>> zones) {
+    spread_zones_ = std::move(zones);
+  }
+
+  /// Route every net: critical nets first (§5.1), then by size; failed nets
+  /// are retried in later rounds with ripup and wider corridors.
+  void route_all(const NetRouteParams& params, DetailedStats* stats = nullptr);
+
+  /// §4.3 preprocessing: build catalogues for every pin, compute a
+  /// conflict-free primary access selection per pin *cluster* (the circuit
+  /// analogue), and commit the primary paths as reservations so that later
+  /// wiring cannot invalidate them.  Called by route_all; idempotent.
+  void precompute_access(const NetRouteParams& params);
+
+  /// Route a single net; returns true if fully connected.
+  bool route_net(int net, const NetRouteParams& params,
+                 DetailedStats* stats = nullptr, int rip_depth = 0);
+
+  /// Same-net postprocessing: minimum-area patches (§4.4, §5.2).
+  void postprocess_net(int net);
+
+  /// Rip a net's wiring *and* reset its access bookkeeping (the committed
+  /// pin-access paths are part of the ripped wiring).
+  void rip_net_tracked(int net);
+
+  RoutingSpace& space() { return *rs_; }
+
+ private:
+  struct CompSource {
+    SearchSource src;
+    int pin = -1;          ///< pin whose access path this endpoint belongs to
+    int access_idx = -1;   ///< index into the pin's catalogue, -1 = path vertex
+  };
+
+  bool connect_components(int net, const NetRouteParams& params,
+                          DetailedStats* stats, int rip_depth,
+                          RipupLevel allowed_ripup);
+
+  RoutingSpace* rs_;
+  PinAccess access_;
+  OnTrackSearch search_;
+  VertexSearch vsearch_{*rs_};
+  const GlobalRouter* global_ = nullptr;
+  const std::vector<SteinerSolution>* global_routes_ = nullptr;
+  std::vector<std::pair<Rect, Coord>> spread_zones_;
+  /// Per pin: catalogue + selected path + committed flag (lazy).
+  std::unordered_map<int, std::vector<AccessPath>> catalogues_;
+  std::unordered_map<int, int> selected_;
+  std::unordered_map<int, bool> access_committed_;
+};
+
+}  // namespace bonn

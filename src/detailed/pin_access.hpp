@@ -1,0 +1,77 @@
+// Off-track pin access (§4.3).
+//
+// For each pin we construct a *catalogue* of several DRC-clean, τ-feasible
+// off-track paths connecting the pin to nearby on-track vertices (via the
+// blockage grid / τ-path search of §3.8).  For a group of pins (a circuit,
+// or in our generator a cluster of mutually close pins) one primary access
+// path per pin is selected such that the set is *conflict-free* — DRC-clean
+// also w.r.t. diff-net rules between the chosen paths — using a
+// branch-and-bound enumeration ("destructive bounding").  A greedy selector
+// exists for the Fig. 7 comparison (greedy can block pins that the
+// conflict-free solution serves).
+#pragma once
+
+#include <vector>
+
+#include "src/blockagegrid/tau_path.hpp"
+#include "src/detailed/routing_space.hpp"
+
+namespace bonn {
+
+struct AccessPath {
+  RoutedPath path;         ///< off-track sticks incl. the landing via if any
+  TrackVertex endpoint;    ///< on-track vertex the path ends at
+  Coord cost = 0;          ///< weighted τ-path cost
+  Coord length = 0;
+};
+
+struct PinAccessParams {
+  int wiretype = 0;
+  Coord window_radius = 400;   ///< search window half-width around the pin
+  int max_targets = 16;        ///< on-track candidate endpoints considered
+  int max_paths = 6;           ///< catalogue size per pin
+  Coord via_cost = 400;
+  int access_layers = 2;       ///< pin layer .. pin layer + access_layers - 1
+  /// Candidate-endpoint preference for higher layers (dbu discount per layer
+  /// above the pin) — used for wide nets that must escape the row clutter.
+  Coord layer_bonus = 0;
+  /// Wiretype the *on-track continuation* will use (endpoint usability is
+  /// checked against it); -1 = same as `wiretype`.  Differs when a wide net
+  /// tapers to a standard-width access stub.
+  int endpoint_wiretype = -1;
+  /// Rip-tolerant mode: only fixed shapes act as τ-search obstacles; paths
+  /// crossing rippable wiring are returned with a penalty (the rip-up
+  /// machinery of §4.2 clears them).  Entered automatically as a last
+  /// resort for hemmed-in pins.
+  bool ignore_rippable = false;
+};
+
+class PinAccess {
+ public:
+  explicit PinAccess(const RoutingSpace& rs) : rs_(&rs) {}
+
+  /// Build the catalogue for one pin (paths are checked DRC-clean against
+  /// the current routing space; the pin's own net is exempt).
+  std::vector<AccessPath> catalogue(const Pin& pin,
+                                    const PinAccessParams& params) const;
+
+  /// Conflict-free selection: pick one path index per pin (or -1 when a pin
+  /// cannot be served) minimizing total cost + spreading penalties, subject
+  /// to pairwise DRC-cleanliness.  Branch & bound with destructive bounding.
+  std::vector<int> conflict_free_selection(
+      const std::vector<std::vector<AccessPath>>& catalogues) const;
+
+  /// Greedy baseline (Fig. 7): cheapest compatible path per pin in order.
+  std::vector<int> greedy_selection(
+      const std::vector<std::vector<AccessPath>>& catalogues) const;
+
+  /// Do the shapes of two access paths violate diff-net rules against each
+  /// other?  (Used by both selectors; exposed for tests.)
+  bool paths_conflict(const AccessPath& a, int net_a, const AccessPath& b,
+                      int net_b) const;
+
+ private:
+  const RoutingSpace* rs_;
+};
+
+}  // namespace bonn

@@ -1,0 +1,86 @@
+#include "src/detailed/routing_space.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+RoutingSpace::RoutingSpace(const Chip& chip) : chip_(&chip) {
+  const auto fixed = chip.fixed_shapes();
+  tg_ = std::make_unique<TrackGraph>(chip.tech, chip.die, fixed);
+  grid_ = std::make_unique<ShapeGrid>(chip.tech, chip.die);
+  for (const Shape& s : fixed) grid_->insert(s, kFixed);
+  checker_ = std::make_unique<DrcChecker>(chip.tech, *grid_);
+  fast_ = std::make_unique<FastGrid>(chip.tech, *tg_, *checker_);
+  fast_->rebuild();
+  net_paths_.resize(chip.nets.size());
+}
+
+RipupLevel RoutingSpace::net_level(int net) const {
+  if (net < 0) return kFixed;
+  const Net& n = chip_->nets[static_cast<std::size_t>(net)];
+  return n.weight > 1.0 ? kCritical : kStandard;
+}
+
+void RoutingSpace::insert_shape(const Shape& s, RipupLevel level) {
+  grid_->insert(s, level);
+  fast_->on_change(s);
+}
+
+void RoutingSpace::remove_shape(const Shape& s, RipupLevel level) {
+  grid_->remove(s, level);
+  fast_->on_change(s);
+}
+
+void RoutingSpace::commit_path(const RoutedPath& path) {
+  BONN_CHECK(path.net >= 0);
+  const RipupLevel level = net_level(path.net);
+  const auto shapes = expand_path(path, chip_->tech);
+  for (const Shape& s : shapes) grid_->insert(s, level);
+  fast_->on_change_all(shapes);
+  net_paths_[static_cast<std::size_t>(path.net)].push_back(path);
+}
+
+std::vector<RoutedPath> RoutingSpace::rip_net(int net) {
+  auto& paths = net_paths_[static_cast<std::size_t>(net)];
+  const RipupLevel level = net_level(net);
+  std::vector<Shape> all;
+  for (const RoutedPath& p : paths) {
+    for (const Shape& s : expand_path(p, chip_->tech)) {
+      grid_->remove(s, level);
+      all.push_back(s);
+    }
+  }
+  fast_->on_change_all(all);
+  return std::move(paths);
+}
+
+void RoutingSpace::remove_recorded(int net, std::size_t path_index) {
+  auto& paths = net_paths_[static_cast<std::size_t>(net)];
+  BONN_CHECK(path_index < paths.size());
+  const RipupLevel level = net_level(net);
+  const auto shapes = expand_path(paths[path_index], chip_->tech);
+  for (const Shape& s : shapes) grid_->remove(s, level);
+  fast_->on_change_all(shapes);
+  paths.erase(paths.begin() + static_cast<std::ptrdiff_t>(path_index));
+}
+
+RoutingResult RoutingSpace::result() const {
+  RoutingResult r(static_cast<int>(net_paths_.size()));
+  r.net_paths = net_paths_;
+  return r;
+}
+
+RoutingSpace::Reservation::Reservation(RoutingSpace& rs,
+                                       std::vector<Shape> shapes,
+                                       RipupLevel level)
+    : rs_(rs), shapes_(std::move(shapes)), level_(level) {
+  for (const Shape& s : shapes_) rs_.grid_->remove(s, level_);
+  rs_.fast_->on_change_all(shapes_);
+}
+
+RoutingSpace::Reservation::~Reservation() {
+  for (const Shape& s : shapes_) rs_.grid_->insert(s, level_);
+  rs_.fast_->on_change_all(shapes_);
+}
+
+}  // namespace bonn

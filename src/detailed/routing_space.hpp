@@ -1,0 +1,76 @@
+// RoutingSpace: the owner of all routing-space data structures (§3).
+//
+// Bundles the track graph (§3.5), shape grid (§3.3), distance rule checker
+// (§3.4) and fast grid (§3.6), and keeps them consistent: every path
+// insertion/removal updates the shape grid and refreshes the affected fast
+// grid neighbourhood.  Also owns the routed paths per net, so rip-up (§4.2)
+// and the temporary removal of connected components during path search
+// (§4.4) are single calls.
+#pragma once
+
+#include <memory>
+
+#include "src/db/chip.hpp"
+#include "src/drc/checker.hpp"
+#include "src/fastgrid/fast_grid.hpp"
+#include "src/shapegrid/shape_grid.hpp"
+#include "src/tracks/track_graph.hpp"
+
+namespace bonn {
+
+class RoutingSpace {
+ public:
+  explicit RoutingSpace(const Chip& chip);
+
+  const Chip& chip() const { return *chip_; }
+  const TrackGraph& tg() const { return *tg_; }
+  const ShapeGrid& grid() const { return *grid_; }
+  const DrcChecker& checker() const { return *checker_; }
+  const FastGrid& fast() const { return *fast_; }
+  FastGrid& mutable_fast() { return *fast_; }
+
+  /// Ripup level for a net's wiring (critical nets are harder to rip).
+  RipupLevel net_level(int net) const;
+
+  /// Insert a routed path (updates shape grid + fast grid) and record it.
+  void commit_path(const RoutedPath& path);
+  /// Remove all paths of a net (rip-up); returns them for possible restore.
+  std::vector<RoutedPath> rip_net(int net);
+  /// Remove one recorded path of a net.
+  void remove_recorded(int net, std::size_t path_index);
+
+  const std::vector<RoutedPath>& paths(int net) const {
+    return net_paths_[static_cast<std::size_t>(net)];
+  }
+  RoutingResult result() const;
+
+  /// Temporarily remove shapes (e.g. of the source/target components during
+  /// a search, §4.4); returns a token restoring them on destruction.
+  class Reservation {
+   public:
+    Reservation(RoutingSpace& rs, std::vector<Shape> shapes,
+                RipupLevel level);
+    ~Reservation();
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+
+   private:
+    RoutingSpace& rs_;
+    std::vector<Shape> shapes_;
+    RipupLevel level_;
+  };
+
+  /// Raw shape-level mutation (kept consistent with the fast grid).
+  void insert_shape(const Shape& s, RipupLevel level);
+  void remove_shape(const Shape& s, RipupLevel level);
+
+ private:
+  const Chip* chip_;
+  std::unique_ptr<TrackGraph> tg_;
+  std::unique_ptr<ShapeGrid> grid_;
+  std::unique_ptr<DrcChecker> checker_;
+  std::unique_ptr<FastGrid> fast_;
+  std::vector<std::vector<RoutedPath>> net_paths_;
+};
+
+}  // namespace bonn

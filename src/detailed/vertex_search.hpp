@@ -1,0 +1,31 @@
+// Per-vertex A* baseline path search.
+//
+// The classical maze-running alternative to Algorithm 4: identical cost
+// model, identical fast-grid usability, but one label per track-graph
+// vertex instead of per interval.  Exists for the Fig. 6 experiment (the
+// paper reports interval labelling is >= 6x faster) and as a differential
+// oracle in tests: both searches must return equal path costs.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "src/detailed/ontrack_search.hpp"
+
+namespace bonn {
+
+class VertexSearch {
+ public:
+  explicit VertexSearch(const RoutingSpace& rs) : rs_(&rs) {}
+
+  std::optional<FoundPath> run(std::span<const SearchSource> sources,
+                               std::span<const TrackVertex> targets,
+                               const std::vector<Rect>& area,
+                               const FutureCost& pi, const SearchParams& params,
+                               SearchStats* stats = nullptr) const;
+
+ private:
+  const RoutingSpace* rs_;
+};
+
+}  // namespace bonn

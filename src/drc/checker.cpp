@@ -1,0 +1,232 @@
+#include "src/drc/checker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// floor(sqrt(x)) for x >= 0.
+Coord isqrt(std::int64_t x) {
+  if (x <= 0) return 0;
+  auto r = static_cast<Coord>(std::sqrt(static_cast<double>(x)));
+  while (r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+/// Merge cell-clipped pieces of the same shape back into maximal rects so
+/// that widths/run-lengths are evaluated on real geometry.  Pieces merge when
+/// they share an owner/kind/class/width and their union is again a rect.
+void merge_pieces(std::vector<GridShape>& pieces) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < pieces.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+        GridShape& a = pieces[i];
+        GridShape& b = pieces[j];
+        if (a.net != b.net || a.kind != b.kind || a.cls != b.cls ||
+            a.rule_width != b.rule_width) {
+          continue;
+        }
+        const bool same_y = a.rect.ylo == b.rect.ylo && a.rect.yhi == b.rect.yhi;
+        const bool same_x = a.rect.xlo == b.rect.xlo && a.rect.xhi == b.rect.xhi;
+        const bool x_touch = a.rect.x_iv().touches(b.rect.x_iv());
+        const bool y_touch = a.rect.y_iv().touches(b.rect.y_iv());
+        if ((same_y && x_touch) || (same_x && y_touch) ||
+            a.rect.contains(b.rect) || b.rect.contains(a.rect)) {
+          a.rect = a.rect.hull(b.rect);
+          a.ripup = std::min(a.ripup, b.ripup);
+          pieces.erase(pieces.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void PlacementCheck::merge(const PlacementCheck& o) {
+  allowed = allowed && o.allowed;
+  min_blocker_ripup = std::min(min_blocker_ripup, o.min_blocker_ripup);
+  for (int n : o.blocking_nets) {
+    if (std::find(blocking_nets.begin(), blocking_nets.end(), n) ==
+        blocking_nets.end()) {
+      blocking_nets.push_back(n);
+    }
+  }
+}
+
+Coord DrcChecker::required_between(const Shape& cand,
+                                   const GridShape& gs) const {
+  if (is_wiring(cand.global_layer)) {
+    const int w = wiring_of_global(cand.global_layer);
+    const Coord prl = std::max(run_length(cand.rect.x_iv(), gs.rect.x_iv()),
+                               run_length(cand.rect.y_iv(), gs.rect.y_iv()));
+    const Coord w1 = cand.rect.rule_width();
+    const Coord w2 = gs.rule_width;
+    return std::max(tech_->table(w, cand.cls).required(w1, w2, prl),
+                    tech_->table(w, gs.cls).required(w1, w2, prl));
+  }
+  // Via layer: cut-to-cut and cut-to-projection rules.
+  const ViaLayer& vl = tech_->via_layers[static_cast<std::size_t>(
+      via_of_global(cand.global_layer))];
+  const bool cand_proj = cand.kind == ShapeKind::kViaProj;
+  const bool gs_proj = gs.kind == ShapeKind::kViaProj;
+  if (cand_proj && gs_proj) return 0;
+  if (cand_proj || gs_proj) return vl.interlayer_spacing;
+  return vl.cut_spacing;
+}
+
+PlacementCheck DrcChecker::check_shape(const Shape& cand) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  PlacementCheck result;
+
+  Coord window_margin;
+  if (is_wiring(cand.global_layer)) {
+    window_margin = tech_->max_spacing(wiring_of_global(cand.global_layer));
+  } else {
+    const ViaLayer& vl = tech_->via_layers[static_cast<std::size_t>(
+        via_of_global(cand.global_layer))];
+    window_margin = std::max(vl.cut_spacing, vl.interlayer_spacing);
+  }
+  const Rect window = cand.rect.expanded(window_margin);
+
+  std::vector<GridShape> pieces;
+  grid_->query(cand.global_layer, window,
+               [&](const GridShape& gs) { pieces.push_back(gs); });
+  merge_pieces(pieces);
+
+  for (const GridShape& gs : pieces) {
+    if (gs.net >= 0 && gs.net == cand.net) continue;  // same-net exempt
+    const Coord s = required_between(cand, gs);
+    if (keeps_distance(cand.rect, gs.rect, s)) continue;
+    result.allowed = false;
+    const bool fixed_kind =
+        gs.kind == ShapeKind::kPin || gs.kind == ShapeKind::kBlockage;
+    const RipupLevel lvl =
+        (gs.net >= 0 && !fixed_kind) ? gs.ripup : kFixed;
+    result.min_blocker_ripup = std::min(result.min_blocker_ripup, lvl);
+    if (gs.net >= 0 &&
+        std::find(result.blocking_nets.begin(), result.blocking_nets.end(),
+                  gs.net) == result.blocking_nets.end()) {
+      result.blocking_nets.push_back(gs.net);
+    }
+  }
+  return result;
+}
+
+PlacementCheck DrcChecker::check_wire(const WireStick& w, int net,
+                                      int wiretype) const {
+  return check_shape(expand_wire(w, net, wiretype, *tech_));
+}
+
+PlacementCheck DrcChecker::check_via(const ViaStick& v, int net,
+                                     int wiretype) const {
+  PlacementCheck result;
+  for (const Shape& s : expand_via(v, net, wiretype, *tech_)) {
+    result.merge(check_shape(s));
+  }
+  return result;
+}
+
+std::vector<ForbiddenRun> DrcChecker::forbidden_runs(
+    int global_layer, const WireModel& model, bool line_horizontal,
+    Coord cross, Interval bound, int net, ShapeKind kind, bool swept) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ForbiddenRun> runs;
+  if (bound.empty()) return runs;
+
+  // Model geometry, resolved to (along, cross) axes of the line.
+  const Interval m_along = line_horizontal ? model.expand.x_iv()
+                                           : model.expand.y_iv();
+  const Interval m_cross_rel = line_horizontal ? model.expand.y_iv()
+                                               : model.expand.x_iv();
+  const Interval m_cross{cross + m_cross_rel.lo, cross + m_cross_rel.hi};
+  const Coord m_width = std::min(m_along.length(), m_cross_rel.length());
+  const Coord m_along_len = m_along.length();
+
+  Coord window_margin;
+  const bool on_wiring = is_wiring(global_layer);
+  if (on_wiring) {
+    window_margin = tech_->max_spacing(wiring_of_global(global_layer));
+  } else {
+    const ViaLayer& vl = tech_->via_layers[static_cast<std::size_t>(
+        via_of_global(global_layer))];
+    window_margin = std::max(vl.cut_spacing, vl.interlayer_spacing);
+  }
+
+  const Interval w_along{bound.lo + m_along.lo - window_margin,
+                         bound.hi + m_along.hi + window_margin};
+  const Interval w_cross = m_cross.expanded(window_margin);
+  const Rect window = line_horizontal
+                          ? Rect{w_along.lo, w_cross.lo, w_along.hi, w_cross.hi}
+                          : Rect{w_cross.lo, w_along.lo, w_cross.hi, w_along.hi};
+
+  std::vector<GridShape> pieces;
+  grid_->query(global_layer, window,
+               [&](const GridShape& gs) { pieces.push_back(gs); });
+  merge_pieces(pieces);
+
+  for (const GridShape& gs : pieces) {
+    if (gs.net >= 0 && gs.net == net) continue;
+    const Interval g_along = line_horizontal ? gs.rect.x_iv() : gs.rect.y_iv();
+    const Interval g_cross = line_horizontal ? gs.rect.y_iv() : gs.rect.x_iv();
+
+    Coord s;  // required spacing, conservative run-length assumption (§3.1)
+    if (on_wiring) {
+      const int w = wiring_of_global(global_layer);
+      // Run-length bound: exact on the cross axis; on the along axis use the
+      // model length for point placements.  For swept wires assume maximal
+      // run-length outright — the sweep can parallel-run the whole
+      // neighbour, and using the (query-window-clipped) neighbour length
+      // would make the answer depend on the recompute window, breaking the
+      // incremental == rebuild invariant of the fast grid.
+      const Coord along_prl =
+          swept ? 1'000'000'000 : std::min(m_along_len, g_along.length());
+      const Coord prl = std::max(run_length(m_cross, g_cross), along_prl);
+      const Coord w2 = gs.rule_width;
+      s = std::max(tech_->table(w, model.cls).required(m_width, w2, prl),
+                   tech_->table(w, gs.cls).required(m_width, w2, prl));
+    } else {
+      const Shape pseudo{Rect{}, global_layer, kind, model.cls, net};
+      s = required_between(pseudo, gs);
+    }
+
+    const Coord gy = m_cross.dist(g_cross);
+    Coord g_max;
+    if (s <= 0) {
+      // Only interior overlap is forbidden.
+      if (m_cross.lo >= g_cross.hi || g_cross.lo >= m_cross.hi) continue;
+      const Interval f{g_along.lo - m_along.hi + 1, g_along.hi - m_along.lo - 1};
+      const Interval run = f.intersection(bound);
+      if (!run.empty()) {
+        const bool fk =
+            gs.kind == ShapeKind::kPin || gs.kind == ShapeKind::kBlockage;
+        runs.push_back({run, gs.net, (gs.net >= 0 && !fk) ? gs.ripup : kFixed});
+      }
+      continue;
+    }
+    if (gy >= s) continue;  // can never violate regardless of along position
+    g_max = (gy == 0) ? s - 1 : isqrt(s * s - gy * gy - 1);
+    const Interval f{g_along.lo - g_max - m_along.hi,
+                     g_along.hi + g_max - m_along.lo};
+    const Interval run = f.intersection(bound);
+    if (!run.empty()) {
+      const bool fixed_kind =
+          gs.kind == ShapeKind::kPin || gs.kind == ShapeKind::kBlockage;
+      const RipupLevel lvl =
+          (gs.net >= 0 && !fixed_kind) ? gs.ripup : kFixed;
+      runs.push_back({run, gs.net, lvl});
+    }
+  }
+  return runs;
+}
+
+}  // namespace bonn

@@ -1,0 +1,298 @@
+#include "src/fastgrid/fast_grid.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+constexpr std::uint64_t kFieldMask = 0x7;
+
+inline void set_wiring_field(std::uint64_t& word, int wt, int f,
+                             std::uint8_t val) {
+  const int off = wt * 13 + f * 3;
+  word = (word & ~(kFieldMask << off)) |
+         (static_cast<std::uint64_t>(val & 0x7) << off);
+}
+
+inline void min_wiring_field(std::uint64_t& word, int wt, int f,
+                             std::uint8_t val) {
+  const std::uint8_t cur = FastGrid::wiring_field(word, wt, FastGrid::Field(f));
+  if (val < cur) set_wiring_field(word, wt, f, val);
+}
+
+inline void set_gap(std::uint64_t& word, int wt, bool v) {
+  const int off = wt * 13 + 12;
+  word = (word & ~(std::uint64_t(1) << off)) |
+         (static_cast<std::uint64_t>(v ? 1 : 0) << off);
+}
+
+inline void set_via_field(std::uint64_t& word, int wt, int f,
+                          std::uint8_t val) {
+  const int off = wt * 6 + f * 3;
+  word = (word & ~(kFieldMask << off)) |
+         (static_cast<std::uint64_t>(val & 0x7) << off);
+}
+
+inline void min_via_field(std::uint64_t& word, int wt, int f,
+                          std::uint8_t val) {
+  const std::uint8_t cur = FastGrid::via_field(word, wt, FastGrid::ViaField(f));
+  if (val < cur) set_via_field(word, wt, f, val);
+}
+
+}  // namespace
+
+FastGrid::FastGrid(const Tech& tech, const TrackGraph& tg,
+                   const DrcChecker& checker, int max_cached)
+    : tech_(&tech), tg_(&tg), checker_(&checker) {
+  cached_ = std::min({kMaxCached, max_cached,
+                      static_cast<int>(tech.wiretypes.size())});
+  free_word_wiring_ = 0;
+  free_word_via_ = 0;
+  for (int k = 0; k < cached_; ++k) {
+    for (int f = 0; f < 4; ++f) set_wiring_field(free_word_wiring_, k, f, kFree);
+    for (int f = 0; f < 2; ++f) set_via_field(free_word_via_, k, f, kFree);
+  }
+  const int L = tg.num_layers();
+  wiring_.resize(static_cast<std::size_t>(L));
+  for (int l = 0; l < L; ++l) {
+    wiring_[static_cast<std::size_t>(l)].assign(
+        tg.tracks(l).size(), IntervalMap<std::uint64_t>(free_word_wiring_));
+  }
+  via_.resize(static_cast<std::size_t>(tech.num_vias()));
+  for (int v = 0; v < tech.num_vias(); ++v) {
+    via_[static_cast<std::size_t>(v)].assign(
+        tg.tracks(v).size(), IntervalMap<std::uint64_t>(free_word_via_));
+  }
+}
+
+bool FastGrid::field_model(int w, int wt, Field f, WireModel& out,
+                           ShapeKind& kind) const {
+  const WireType& t = tech_->wt(wt);
+  switch (f) {
+    case kWireF:
+      out = t.pref[static_cast<std::size_t>(w)];
+      kind = ShapeKind::kWire;
+      return true;
+    case kJogF:
+      out = t.nonpref[static_cast<std::size_t>(w)];
+      kind = ShapeKind::kJog;
+      return true;
+    case kViaBotF:
+      if (w >= tech_->num_vias()) return false;
+      out = t.vias[static_cast<std::size_t>(w)].bottom;
+      kind = ShapeKind::kViaPad;
+      return true;
+    case kViaTopF:
+      if (w == 0) return false;
+      out = t.vias[static_cast<std::size_t>(w) - 1].top;
+      kind = ShapeKind::kViaPad;
+      return true;
+  }
+  return false;
+}
+
+void FastGrid::recompute_wiring(int w, const Rect& region) {
+  const int g = global_of_wiring(w);
+  const bool horiz = tech_->pref(w) == Dir::kHorizontal;
+  const Interval reg_along = horiz ? region.x_iv() : region.y_iv();
+  const Interval reg_cross = horiz ? region.y_iv() : region.x_iv();
+  const Coord S = tech_->max_spacing(w);
+  const auto& tracks = tg_->tracks(w);
+  const auto& stations = tg_->stations(w);
+  const int num_st = static_cast<int>(stations.size());
+  if (tracks.empty() || num_st == 0) return;
+
+  for (int k = 0; k < cached_; ++k) {
+    for (int f = 0; f < 4; ++f) {
+      WireModel model;
+      ShapeKind kind;
+      if (!field_model(w, k, Field(f), model, kind)) continue;
+      const Interval m_along = horiz ? model.expand.x_iv() : model.expand.y_iv();
+      const Interval m_cross = horiz ? model.expand.y_iv() : model.expand.x_iv();
+      const Coord reach_cross =
+          std::max(-m_cross.lo, m_cross.hi) + S;
+      const Coord reach_along = std::max(-m_along.lo, m_along.hi) + S;
+      Interval bound = reg_along.expanded(reach_along);
+      auto [slo, shi] = tg_->station_range(w, bound);
+      if (slo > shi) continue;
+      // Widen by two stations so boundary gap bits are recomputed exactly
+      // like a full rebuild would (incremental == rebuild invariant).
+      slo = std::max(slo - 2, 0);
+      shi = std::min(shi + 2, num_st - 1);
+      bound = bound.hull({stations[static_cast<std::size_t>(slo)],
+                          stations[static_cast<std::size_t>(shi)]});
+      const auto [tlo, thi] =
+          tg_->track_range(w, reg_cross.expanded(reach_cross));
+      for (int ti = tlo; ti <= thi; ++ti) {
+        auto& map = wiring_[static_cast<std::size_t>(w)]
+                           [static_cast<std::size_t>(ti)];
+        // Reset this field (and, for the wire field, the gap bit) to free.
+        map.update(slo, shi + 1, [&](std::uint64_t& word) {
+          set_wiring_field(word, k, f, kFree);
+          if (f == kWireF) set_gap(word, k, false);
+        });
+        const auto runs = checker_->forbidden_runs(
+            g, model, horiz, tracks[static_cast<std::size_t>(ti)], bound,
+            /*net=*/-3, kind, /*swept=*/f == kWireF);
+        for (const ForbiddenRun& run : runs) {
+          const std::uint8_t level =
+              static_cast<std::uint8_t>(std::min<int>(run.ripup, 6));
+          const auto [alo, ahi] = tg_->station_range(w, run.along);
+          if (alo > ahi) {
+            // Forbidden run strictly inside an edge: endpoint legality does
+            // not imply edge legality — set the gap bit on the left vertex.
+            if (f == kWireF && alo - 1 >= slo && alo <= shi) {
+              map.update(alo - 1, alo, [&](std::uint64_t& word) {
+                set_gap(word, k, true);
+              });
+            }
+            continue;
+          }
+          map.update(std::max(alo, slo), std::min(ahi, shi) + 1,
+                     [&](std::uint64_t& word) {
+                       min_wiring_field(word, k, f, level);
+                     });
+        }
+      }
+    }
+  }
+}
+
+void FastGrid::recompute_via(int v, const Rect& region) {
+  const int g = global_of_via(v);
+  const int w = v;  // lattice of the lower wiring layer
+  const bool horiz = tech_->pref(w) == Dir::kHorizontal;
+  const Interval reg_along = horiz ? region.x_iv() : region.y_iv();
+  const Interval reg_cross = horiz ? region.y_iv() : region.x_iv();
+  const ViaLayer& vl = tech_->via_layers[static_cast<std::size_t>(v)];
+  const Coord S = std::max(vl.cut_spacing, vl.interlayer_spacing);
+  const auto& tracks = tg_->tracks(w);
+  if (tracks.empty()) return;
+
+  for (int k = 0; k < cached_; ++k) {
+    for (int f = 0; f < 2; ++f) {
+      WireModel model;
+      ShapeKind kind;
+      if (f == kCutF) {
+        model = tech_->wt(k).vias[static_cast<std::size_t>(v)].cut;
+        kind = ShapeKind::kViaCut;
+      } else {
+        if (v == 0) continue;
+        const ViaModel& below = tech_->wt(k).vias[static_cast<std::size_t>(v) - 1];
+        if (!below.has_projection) continue;
+        model = below.projection;
+        kind = ShapeKind::kViaProj;
+      }
+      const Interval m_along = horiz ? model.expand.x_iv() : model.expand.y_iv();
+      const Interval m_cross = horiz ? model.expand.y_iv() : model.expand.x_iv();
+      const Coord reach_cross = std::max(-m_cross.lo, m_cross.hi) + S;
+      const Coord reach_along = std::max(-m_along.lo, m_along.hi) + S;
+      Interval bound = reg_along.expanded(reach_along);
+      auto [slo, shi] = tg_->station_range(w, bound);
+      if (slo > shi) continue;
+      const auto& stations = tg_->stations(w);
+      const int num_st = static_cast<int>(stations.size());
+      slo = std::max(slo - 2, 0);
+      shi = std::min(shi + 2, num_st - 1);
+      bound = bound.hull({stations[static_cast<std::size_t>(slo)],
+                          stations[static_cast<std::size_t>(shi)]});
+      const auto [tlo, thi] =
+          tg_->track_range(w, reg_cross.expanded(reach_cross));
+      for (int ti = tlo; ti <= thi; ++ti) {
+        auto& map =
+            via_[static_cast<std::size_t>(v)][static_cast<std::size_t>(ti)];
+        map.update(slo, shi + 1, [&](std::uint64_t& word) {
+          set_via_field(word, k, f, kFree);
+        });
+        const auto runs = checker_->forbidden_runs(
+            g, model, horiz, tracks[static_cast<std::size_t>(ti)], bound,
+            /*net=*/-3, kind, /*swept=*/false);
+        for (const ForbiddenRun& run : runs) {
+          const std::uint8_t level =
+              static_cast<std::uint8_t>(std::min<int>(run.ripup, 6));
+          const auto [alo, ahi] = tg_->station_range(w, run.along);
+          if (alo > ahi) continue;
+          map.update(std::max(alo, slo), std::min(ahi, shi) + 1,
+                     [&](std::uint64_t& word) {
+                       min_via_field(word, k, f, level);
+                     });
+        }
+      }
+    }
+  }
+}
+
+void FastGrid::recompute(int g, const Rect& region) {
+  if (is_wiring(g)) {
+    recompute_wiring(wiring_of_global(g), region);
+  } else {
+    recompute_via(via_of_global(g), region);
+  }
+}
+
+void FastGrid::rebuild() {
+  const Rect die = tg_->die().expanded(1000);
+  for (int w = 0; w < tech_->num_wiring(); ++w) recompute_wiring(w, die);
+  for (int v = 0; v < tech_->num_vias(); ++v) recompute_via(v, die);
+}
+
+void FastGrid::on_change(const Shape& s) { recompute(s.global_layer, s.rect); }
+
+void FastGrid::on_change_all(std::span<const Shape> shapes) {
+  // Cluster the affected rects per layer: merge rects whose expanded
+  // bounding boxes intersect, then recompute once per cluster.
+  std::map<int, std::vector<Rect>> by_layer;
+  for (const Shape& s : shapes) by_layer[s.global_layer].push_back(s.rect);
+  for (auto& [layer, rects] : by_layer) {
+    std::vector<Rect> clusters;
+    std::sort(rects.begin(), rects.end(),
+              [](const Rect& a, const Rect& b) { return a.xlo < b.xlo; });
+    for (const Rect& r : rects) {
+      bool merged = false;
+      for (Rect& c : clusters) {
+        if (c.expanded(400).intersects(r)) {
+          c = c.hull(r);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) clusters.push_back(r);
+    }
+    for (const Rect& c : clusters) recompute(layer, c);
+  }
+}
+
+std::uint8_t FastGrid::via_level(const TrackVertex& u, int wiretype) const {
+  BONN_ASSERT(caches(wiretype));
+  if (u.layer + 1 >= tg_->num_layers()) return 0;
+  const TrackVertex p = tg_->via_up(u);
+  if (!p.valid()) return 0;
+  std::uint8_t lvl = wiring_field(word(u.layer, u.track, u.station), wiretype,
+                                  kViaBotF);
+  lvl = std::min(lvl, wiring_field(word(p.layer, p.track, p.station), wiretype,
+                                   kViaTopF));
+  lvl = std::min(lvl, via_field(via_word(u.layer, u.track, u.station),
+                                wiretype, kCutF));
+  if (u.layer + 1 < tech_->num_vias()) {
+    lvl = std::min(lvl, via_field(via_word(u.layer + 1, p.track, p.station),
+                                  wiretype, kProjF));
+  }
+  return lvl;
+}
+
+std::size_t FastGrid::breakpoint_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : wiring_) {
+    for (const auto& map : layer) n += map.breakpoint_count();
+  }
+  for (const auto& layer : via_) {
+    for (const auto& map : layer) n += map.breakpoint_count();
+  }
+  return n;
+}
+
+}  // namespace bonn

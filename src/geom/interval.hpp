@@ -1,0 +1,73 @@
+// Closed 1D integer intervals.
+//
+// Intervals are the workhorse of BonnRoute's data structures: shape-grid rows
+// (§3.3), fast-grid legality runs (§3.6) and the label intervals of the
+// on-track path search (§4.1) all merge consecutive equal states into them.
+#pragma once
+
+#include <algorithm>
+
+#include "src/geom/point.hpp"
+
+namespace bonn {
+
+struct Interval {
+  Coord lo = 0;
+  Coord hi = -1;  // default-constructed interval is empty
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+
+  constexpr bool empty() const { return lo > hi; }
+  constexpr Coord length() const { return empty() ? 0 : hi - lo; }
+  /// Number of integer points contained (for index intervals).
+  constexpr Coord count() const { return empty() ? 0 : hi - lo + 1; }
+
+  constexpr bool contains(Coord v) const { return lo <= v && v <= hi; }
+  constexpr bool contains(const Interval& o) const {
+    return o.empty() || (lo <= o.lo && o.hi <= hi);
+  }
+  constexpr bool intersects(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+  /// True if the intervals intersect or are adjacent integers (mergeable).
+  constexpr bool touches(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi + 1 && o.lo <= hi + 1;
+  }
+
+  constexpr Interval intersection(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+  constexpr Interval hull(const Interval& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+  constexpr Interval expanded(Coord by) const {
+    return empty() ? *this : Interval{lo - by, hi + by};
+  }
+
+  /// Distance between a point and the interval (0 if contained).
+  constexpr Coord dist(Coord v) const {
+    if (v < lo) return lo - v;
+    if (v > hi) return v - hi;
+    return 0;
+  }
+
+  /// Distance between two intervals (0 if they intersect).
+  constexpr Coord dist(const Interval& o) const {
+    if (o.hi < lo) return lo - o.hi;
+    if (hi < o.lo) return o.lo - hi;
+    return 0;
+  }
+
+  /// Clamp a value into the interval (interval must be non-empty).
+  constexpr Coord clamp(Coord v) const { return std::clamp(v, lo, hi); }
+};
+
+/// Common run-length of two shapes along one axis (§3.1): the length of the
+/// intersection of their projections; negative values mean a gap.
+constexpr Coord run_length(const Interval& a, const Interval& b) {
+  return std::min(a.hi, b.hi) - std::max(a.lo, b.lo);
+}
+
+}  // namespace bonn

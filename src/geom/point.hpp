@@ -1,0 +1,63 @@
+// Basic planar/spatial coordinate types for Manhattan routing (§1.1).
+//
+// All coordinates are integer database units (1 dbu = 1 nm); int64 keeps
+// area and squared-distance arithmetic overflow-free for any realistic die.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+
+namespace bonn {
+
+using Coord = std::int64_t;
+
+/// Preferred routing direction of a wiring layer (§1.1): layers alternate.
+enum class Dir : std::uint8_t { kHorizontal = 0, kVertical = 1 };
+
+constexpr Dir orthogonal(Dir d) {
+  return d == Dir::kHorizontal ? Dir::kVertical : Dir::kHorizontal;
+}
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+
+  /// Coordinate along d (x for horizontal movement axis).
+  constexpr Coord along(Dir d) const { return d == Dir::kHorizontal ? x : y; }
+  constexpr Coord& along(Dir d) { return d == Dir::kHorizontal ? x : y; }
+};
+
+constexpr Coord abs_diff(Coord a, Coord b) { return a > b ? a - b : b - a; }
+
+/// ℓ1 (Manhattan) distance — the wirelength metric of the track graph.
+constexpr Coord l1_dist(const Point& a, const Point& b) {
+  return abs_diff(a.x, b.x) + abs_diff(a.y, b.y);
+}
+
+/// Squared ℓ2 distance — minimum-distance rules compare against spacing².
+constexpr std::int64_t l2_dist_sq(const Point& a, const Point& b) {
+  const Coord dx = a.x - b.x;
+  const Coord dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// A point on a specific wiring layer; the vertex type of 3D search spaces.
+struct PointL {
+  Coord x = 0;
+  Coord y = 0;
+  int layer = 0;
+
+  friend constexpr bool operator==(const PointL&, const PointL&) = default;
+  friend constexpr auto operator<=>(const PointL&, const PointL&) = default;
+
+  constexpr Point pt() const { return {x, y}; }
+};
+
+}  // namespace bonn

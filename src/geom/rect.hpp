@@ -1,0 +1,117 @@
+// Axis-parallel rectangles — the shape primitive of the router.
+//
+// Wire and via shapes, blockages, pin shapes and shape-grid cells are all
+// axis-parallel rectangles (§3.2); rectilinear polygons appear only as unions
+// of rectangles (see rect_union.hpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/geom/interval.hpp"
+#include "src/geom/point.hpp"
+
+namespace bonn {
+
+struct Rect {
+  Coord xlo = 0, ylo = 0, xhi = -1, yhi = -1;  // default is empty
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  static constexpr Rect from_points(const Point& a, const Point& b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+            std::max(a.y, b.y)};
+  }
+
+  constexpr bool empty() const { return xlo > xhi || ylo > yhi; }
+  constexpr Coord width() const { return xhi - xlo; }
+  constexpr Coord height() const { return yhi - ylo; }
+  constexpr std::int64_t area() const {
+    return empty() ? 0 : width() * height();
+  }
+  constexpr Point center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+
+  constexpr Interval x_iv() const { return {xlo, xhi}; }
+  constexpr Interval y_iv() const { return {ylo, yhi}; }
+  constexpr Interval iv(Dir d) const {
+    return d == Dir::kHorizontal ? x_iv() : y_iv();
+  }
+
+  /// Shape "width" in the design-rule sense at its narrowest (§3.1 defines
+  /// width via largest enclosed square; for a rectangle that is min(w,h)).
+  constexpr Coord rule_width() const { return std::min(width(), height()); }
+
+  constexpr bool contains(const Point& p) const {
+    return xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+  constexpr bool contains(const Rect& o) const {
+    return o.empty() || (xlo <= o.xlo && o.xhi <= xhi && ylo <= o.ylo && o.yhi <= yhi);
+  }
+  constexpr bool intersects(const Rect& o) const {
+    return !empty() && !o.empty() && xlo <= o.xhi && o.xlo <= xhi &&
+           ylo <= o.yhi && o.ylo <= yhi;
+  }
+  /// Overlap of interiors (touching edges do not count).
+  constexpr bool overlaps_interior(const Rect& o) const {
+    return !empty() && !o.empty() && xlo < o.xhi && o.xlo < xhi &&
+           ylo < o.yhi && o.ylo < yhi;
+  }
+
+  constexpr Rect intersection(const Rect& o) const {
+    return {std::max(xlo, o.xlo), std::max(ylo, o.ylo), std::min(xhi, o.xhi),
+            std::min(yhi, o.yhi)};
+  }
+  constexpr Rect hull(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(xlo, o.xlo), std::min(ylo, o.ylo), std::max(xhi, o.xhi),
+            std::max(yhi, o.yhi)};
+  }
+  constexpr Rect expanded(Coord by) const {
+    return empty() ? *this : Rect{xlo - by, ylo - by, xhi + by, yhi + by};
+  }
+  constexpr Rect expanded(Coord bx, Coord by) const {
+    return empty() ? *this : Rect{xlo - bx, ylo - by, xhi + bx, yhi + by};
+  }
+  /// Expand only along direction d — used for the pessimistic line-end
+  /// extension in preferred direction (§3.1, Fig. 2).
+  constexpr Rect expanded_along(Dir d, Coord by) const {
+    return d == Dir::kHorizontal ? expanded(by, 0) : expanded(0, by);
+  }
+  constexpr Rect translated(Coord dx, Coord dy) const {
+    return {xlo + dx, ylo + dy, xhi + dx, yhi + dy};
+  }
+
+  /// Minkowski sum with another rect centred at the origin — how a wire model
+  /// shape is swept along a stick figure (§3.2).
+  constexpr Rect minkowski(const Rect& o) const {
+    return {xlo + o.xlo, ylo + o.ylo, xhi + o.xhi, yhi + o.yhi};
+  }
+
+  /// Axis gaps between rects (0 when projections overlap).
+  constexpr Coord x_gap(const Rect& o) const { return x_iv().dist(o.x_iv()); }
+  constexpr Coord y_gap(const Rect& o) const { return y_iv().dist(o.y_iv()); }
+
+  /// Squared ℓ2 distance between the two rects (0 if intersecting).
+  constexpr std::int64_t l2_dist_sq(const Rect& o) const {
+    const Coord dx = x_gap(o);
+    const Coord dy = y_gap(o);
+    return dx * dx + dy * dy;
+  }
+
+  /// ℓ1 distance from a point to the rect (0 if contained).
+  constexpr Coord l1_dist(const Point& p) const {
+    return x_iv().dist(p.x) + y_iv().dist(p.y);
+  }
+};
+
+/// A rectangle bound to a layer — blockages, pin shapes, wiring shapes.
+struct RectL {
+  Rect r;
+  int layer = 0;
+
+  friend constexpr bool operator==(const RectL&, const RectL&) = default;
+};
+
+}  // namespace bonn

@@ -1,0 +1,159 @@
+#include "src/geom/rect_union.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Union-find with path halving.
+class DisjointSet {
+ public:
+  explicit DisjointSet(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+std::vector<Coord> compressed_coords(std::span<const Rect> rects, bool x_axis) {
+  std::vector<Coord> cs;
+  cs.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    cs.push_back(x_axis ? r.xlo : r.ylo);
+    cs.push_back(x_axis ? r.xhi : r.yhi);
+  }
+  std::sort(cs.begin(), cs.end());
+  cs.erase(std::unique(cs.begin(), cs.end()), cs.end());
+  return cs;
+}
+
+}  // namespace
+
+std::int64_t union_area(std::span<const Rect> rects) {
+  // Coordinate-compressed raster sweep: O(n^2) cells worst case, but inputs
+  // are per-net shape sets (tens of rects), so simplicity wins.
+  const std::vector<Coord> xs = compressed_coords(rects, /*x_axis=*/true);
+  const std::vector<Coord> ys = compressed_coords(rects, /*x_axis=*/false);
+  if (xs.size() < 2 || ys.size() < 2) return 0;
+
+  std::int64_t area = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
+      const Point probe{xs[i], ys[j]};
+      for (const Rect& r : rects) {
+        if (r.empty()) continue;
+        // Cell [xs[i],xs[i+1]] x [ys[j],ys[j+1]] is covered iff its lower-left
+        // corner lies in the half-open rect.
+        if (r.xlo <= probe.x && probe.x < r.xhi && r.ylo <= probe.y &&
+            probe.y < r.yhi) {
+          area += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j]);
+          break;
+        }
+      }
+    }
+  }
+  return area;
+}
+
+std::vector<std::vector<int>> connected_components(
+    std::span<const Rect> rects) {
+  const int n = static_cast<int>(rects.size());
+  DisjointSet ds(n);
+
+  // Sweep over xlo with an active set to avoid the full O(n^2) pair scan.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return rects[a].xlo < rects[b].xlo; });
+  std::vector<int> active;
+  for (int idx : order) {
+    const Rect& r = rects[idx];
+    if (r.empty()) continue;
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [&](int a) { return rects[a].xhi < r.xlo; }),
+                 active.end());
+    for (int a : active) {
+      if (rects[a].intersects(r)) ds.unite(a, idx);
+    }
+    active.push_back(idx);
+  }
+
+  std::map<int, std::vector<int>> groups;
+  for (int i = 0; i < n; ++i) {
+    if (rects[i].empty()) continue;
+    groups[ds.find(i)].push_back(i);
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+std::vector<BoundaryEdge> union_boundary(std::span<const Rect> rects) {
+  const std::vector<Coord> xs = compressed_coords(rects, /*x_axis=*/true);
+  const std::vector<Coord> ys = compressed_coords(rects, /*x_axis=*/false);
+  if (xs.size() < 2 || ys.size() < 2) return {};
+  const int nx = static_cast<int>(xs.size()) - 1;
+  const int ny = static_cast<int>(ys.size()) - 1;
+
+  auto covered = [&](int i, int j) {
+    if (i < 0 || j < 0 || i >= nx || j >= ny) return false;
+    const Point probe{xs[i], ys[j]};
+    for (const Rect& r : rects) {
+      if (r.empty()) continue;
+      if (r.xlo <= probe.x && probe.x < r.xhi && r.ylo <= probe.y &&
+          probe.y < r.yhi) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Collect unit boundary edges of the compressed raster, then merge
+  // collinear runs.
+  std::vector<BoundaryEdge> edges;
+  // Horizontal edges: boundary between cell (i,j-1) and (i,j) at y=ys[j].
+  for (int j = 0; j <= ny; ++j) {
+    int run_start = -1;
+    for (int i = 0; i <= nx; ++i) {
+      const bool boundary =
+          i < nx && (covered(i, j - 1) != covered(i, j));
+      if (boundary && run_start < 0) run_start = i;
+      if (!boundary && run_start >= 0) {
+        edges.push_back({{xs[run_start], ys[j]}, {xs[i], ys[j]}});
+        run_start = -1;
+      }
+    }
+  }
+  // Vertical edges.
+  for (int i = 0; i <= nx; ++i) {
+    int run_start = -1;
+    for (int j = 0; j <= ny; ++j) {
+      const bool boundary =
+          j < ny && (covered(i - 1, j) != covered(i, j));
+      if (boundary && run_start < 0) run_start = j;
+      if (!boundary && run_start >= 0) {
+        edges.push_back({{xs[i], ys[run_start]}, {xs[i], ys[j]}});
+        run_start = -1;
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace bonn

@@ -1,0 +1,36 @@
+// Operations on unions of axis-parallel rectangles (rectilinear polygons).
+//
+// The router never stores polygons explicitly — metal areas are unions of
+// wire/via/pin rectangles — but several design rules are polygon rules:
+// minimum area (§3.7) needs the union area of each connected metal component,
+// and short-edge rules need the boundary edges of the union.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/geom/rect.hpp"
+
+namespace bonn {
+
+/// Area of the union of the given rectangles (overlaps counted once).
+std::int64_t union_area(std::span<const Rect> rects);
+
+/// Partition rect indices into connected components; rects belong to the same
+/// component if they intersect or touch (share boundary).  This is metal
+/// connectivity on one layer.
+std::vector<std::vector<int>> connected_components(std::span<const Rect> rects);
+
+/// An axis-parallel boundary edge of a rectilinear union polygon.
+struct BoundaryEdge {
+  Point a, b;  // a < b lexicographically; edge is horizontal or vertical
+  Coord length() const { return l1_dist(a, b); }
+  bool horizontal() const { return a.y == b.y; }
+};
+
+/// Boundary edges of the union of the given rectangles, with collinear
+/// adjacent edges merged.  Input sizes here are per-net and small.
+std::vector<BoundaryEdge> union_boundary(std::span<const Rect> rects);
+
+}  // namespace bonn

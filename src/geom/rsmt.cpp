@@ -1,0 +1,105 @@
+#include "src/geom/rsmt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Prim MST length over an explicit point set (O(n^2), n is small).
+Coord mst_length(const std::vector<Point>& pts) {
+  const std::size_t n = pts.size();
+  if (n < 2) return 0;
+  std::vector<Coord> dist(n, std::numeric_limits<Coord>::max());
+  std::vector<bool> in_tree(n, false);
+  dist[0] = 0;
+  Coord total = 0;
+  for (std::size_t it = 0; it < n; ++it) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i] && (best == n || dist[i] < dist[best])) best = i;
+    }
+    in_tree[best] = true;
+    total += dist[best];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_tree[i]) dist[i] = std::min(dist[i], l1_dist(pts[best], pts[i]));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+Coord hpwl(std::span<const Point> terminals) {
+  if (terminals.size() < 2) return 0;
+  Coord xlo = terminals[0].x, xhi = xlo, ylo = terminals[0].y, yhi = ylo;
+  for (const Point& p : terminals) {
+    xlo = std::min(xlo, p.x);
+    xhi = std::max(xhi, p.x);
+    ylo = std::min(ylo, p.y);
+    yhi = std::max(yhi, p.y);
+  }
+  return (xhi - xlo) + (yhi - ylo);
+}
+
+Coord l1_mst_length(std::span<const Point> terminals) {
+  std::vector<Point> pts(terminals.begin(), terminals.end());
+  return mst_length(pts);
+}
+
+Coord rsmt_length(std::span<const Point> terminals) {
+  const std::size_t n = terminals.size();
+  if (n < 2) return 0;
+  if (n == 2) return l1_dist(terminals[0], terminals[1]);
+  if (n == 3) {
+    // Exact: connect through the coordinate-wise median point.
+    std::array<Coord, 3> xs{terminals[0].x, terminals[1].x, terminals[2].x};
+    std::array<Coord, 3> ys{terminals[0].y, terminals[1].y, terminals[2].y};
+    std::sort(xs.begin(), xs.end());
+    std::sort(ys.begin(), ys.end());
+    return (xs[2] - xs[0]) + (ys[2] - ys[0]);
+  }
+  std::vector<Point> pts(terminals.begin(), terminals.end());
+  if (n > 30) return mst_length(pts);
+
+  // Iterated 1-Steiner: repeatedly insert the Hanan point with the largest
+  // MST gain.  Candidates are recomputed lazily; terminal counts are small.
+  std::vector<Coord> xs, ys;
+  for (const Point& p : terminals) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  Coord best_total = mst_length(pts);
+  for (;;) {
+    Coord round_best = best_total;
+    Point round_pt{};
+    for (Coord x : xs) {
+      for (Coord y : ys) {
+        const Point cand{x, y};
+        if (std::find(pts.begin(), pts.end(), cand) != pts.end()) continue;
+        pts.push_back(cand);
+        const Coord len = mst_length(pts);
+        pts.pop_back();
+        if (len < round_best) {
+          round_best = len;
+          round_pt = cand;
+        }
+      }
+    }
+    if (round_best >= best_total) break;
+    best_total = round_best;
+    pts.push_back(round_pt);
+  }
+  return best_total;
+}
+
+}  // namespace bonn

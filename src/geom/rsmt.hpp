@@ -1,0 +1,29 @@
+// Rectilinear Steiner minimal tree heuristics.
+//
+// The paper uses FLUTE [Chu & Wong 2008] (exact up to 9 terminals) as the
+// yardstick for detour/"scenic net" statistics (Table I) and for the Steiner
+// ratios of Table II.  We substitute an iterated 1-Steiner heuristic over the
+// Hanan grid (near-exact at these terminal counts) with the ℓ1 MST as upper
+// bound — the identical role (see DESIGN.md).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/geom/point.hpp"
+
+namespace bonn {
+
+/// Length of a minimum spanning tree on the terminals under ℓ1 distance.
+Coord l1_mst_length(std::span<const Point> terminals);
+
+/// Rectilinear Steiner tree length estimate:
+///  - n <= 3: exact (ℓ1 distance / Hanan median)
+///  - n <= 30: iterated 1-Steiner over the Hanan grid
+///  - larger: MST length (only huge nets, excluded from scenic stats anyway)
+Coord rsmt_length(std::span<const Point> terminals);
+
+/// Half-perimeter wirelength — the weakest lower bound, used in sanity tests.
+Coord hpwl(std::span<const Point> terminals);
+
+}  // namespace bonn

@@ -1,0 +1,112 @@
+#include "src/global/global_router.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+GlobalRouter::GlobalRouter(const Chip& chip, const TrackGraph& tg,
+                           const FastGrid& fg, int tiles_x, int tiles_y)
+    : chip_(&chip) {
+  std::vector<Point> anchors;
+  anchors.reserve(chip.pins.size());
+  for (const Pin& p : chip.pins) {
+    if (p.anchor_layer() == 0) anchors.push_back(p.anchor());
+  }
+  graph_ = std::make_unique<GlobalGraph>(chip.tech, tg, fg, tiles_x, tiles_y,
+                                         anchors);
+  terminals_.resize(chip.nets.size());
+  for (const Net& n : chip.nets) {
+    std::vector<int> verts;
+    for (int pid : n.pins) {
+      const Pin& pin = chip.pins[static_cast<std::size_t>(pid)];
+      const auto [tx, ty] = graph_->tile_of(pin.anchor());
+      verts.push_back(graph_->vertex(tx, ty, pin.anchor_layer()));
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    // Terminals in the same tile on different layers are considered locally
+    // connectable (the paper's V_p clique contraction): keep one vertex per
+    // tile, on the lowest pin layer.
+    std::vector<int> tiles;
+    std::vector<int> deduped;
+    for (int v : verts) {
+      const int tile = graph_->tx_of(v) + graph_->nx() * graph_->ty_of(v);
+      if (std::find(tiles.begin(), tiles.end(), tile) == tiles.end()) {
+        tiles.push_back(tile);
+        deduped.push_back(v);
+      }
+    }
+    terminals_[static_cast<std::size_t>(n.id)] = std::move(deduped);
+  }
+}
+
+std::vector<SteinerSolution> GlobalRouter::route(
+    const GlobalRouterParams& params, GlobalRoutingStats* stats) {
+  Timer total;
+  ResourceModel model(*graph_, *chip_, params.max_extra_space,
+                      params.detour_bound);
+  SteinerOracle oracle(*graph_, model);
+  ResourceSharing sharing(model, oracle);
+
+  SharingStats sh_stats;
+  FractionalSolution frac = sharing.run(terminals_, params.sharing, &sh_stats);
+
+  RoundingStats rd_stats;
+  IntegralAssignment integral = round_and_fix(
+      model, oracle, frac, terminals_, params.rounding, &rd_stats);
+
+  if (stats) {
+    stats->total_seconds = total.seconds();
+    stats->alg2_seconds = sh_stats.seconds;
+    stats->rr_seconds = rd_stats.seconds;
+    stats->lambda = sh_stats.lambda;
+    stats->oracle_calls = sh_stats.oracle_calls;
+    stats->oracle_reuses = sh_stats.reuses;
+    stats->nets_rechosen = rd_stats.nets_rechosen;
+    stats->fresh_routes = rd_stats.fresh_routes;
+    stats->overflowed_edges = rd_stats.overflowed_edges_final;
+    for (const SteinerSolution& sol : integral.per_net) {
+      for (const auto& [e, s] : sol.edges) {
+        (void)s;
+        const GlobalEdge& ge = graph_->edge(e);
+        if (ge.via) {
+          ++stats->via_count;
+        } else {
+          stats->netlength += ge.length;
+        }
+      }
+    }
+  }
+  return std::move(integral.per_net);
+}
+
+std::vector<Rect> GlobalRouter::corridor(const SteinerSolution& sol,
+                                         int halo_tiles) const {
+  std::vector<Rect> tiles;
+  auto add_tile = [&](int v) {
+    const int tx = graph_->tx_of(v);
+    const int ty = graph_->ty_of(v);
+    for (int dx = -halo_tiles; dx <= halo_tiles; ++dx) {
+      for (int dy = -halo_tiles; dy <= halo_tiles; ++dy) {
+        const int x = tx + dx;
+        const int y = ty + dy;
+        if (x < 0 || y < 0 || x >= graph_->nx() || y >= graph_->ny()) continue;
+        const Rect r = graph_->tile_rect(x, y);
+        if (std::find(tiles.begin(), tiles.end(), r) == tiles.end()) {
+          tiles.push_back(r);
+        }
+      }
+    }
+  };
+  for (const auto& [e, s] : sol.edges) {
+    (void)s;
+    add_tile(graph_->edge(e).u);
+    add_tile(graph_->edge(e).v);
+  }
+  return tiles;
+}
+
+}  // namespace bonn

@@ -1,0 +1,73 @@
+// The BonnRoute global router facade (§2).
+//
+// Wires together the global graph with §2.5 capacities, the resource model,
+// the Steiner oracle (Alg. 1), resource sharing (Alg. 2) and randomized
+// rounding with rip-up & reroute (§2.4).  The output is a Steiner forest of
+// global edges per net plus extra-space assignments — the corridors the
+// detailed router will follow — together with the runtime/quality statistics
+// Table III reports.
+#pragma once
+
+#include <memory>
+
+#include "src/db/chip.hpp"
+#include "src/global/rounding.hpp"
+
+namespace bonn {
+
+struct GlobalRouterParams {
+  SharingParams sharing;
+  RoundingParams rounding;
+  int max_extra_space = 3;
+  /// > 0: bound critical nets' global detour to this factor of their
+  /// Steiner length via per-net resources (§2.1).
+  double detour_bound = 0.0;
+};
+
+struct GlobalRoutingStats {
+  double total_seconds = 0;
+  double alg2_seconds = 0;  ///< Table III "Alg. 2" column
+  double rr_seconds = 0;    ///< Table III "R&R" column
+  double lambda = 0;
+  std::uint64_t oracle_calls = 0;
+  std::uint64_t oracle_reuses = 0;
+  int nets_rechosen = 0;
+  int fresh_routes = 0;
+  int overflowed_edges = 0;
+  Coord netlength = 0;        ///< planar global netlength (dbu)
+  std::int64_t via_count = 0;  ///< via edges used
+};
+
+class GlobalRouter {
+ public:
+  /// The fast grid must already reflect all fixed shapes (and any pre-routed
+  /// nets — §2.5's first refinement).
+  GlobalRouter(const Chip& chip, const TrackGraph& tg, const FastGrid& fg,
+               int tiles_x, int tiles_y);
+
+  const GlobalGraph& graph() const { return *graph_; }
+
+  /// Global-graph vertices of a net's pins (deduplicated).
+  const std::vector<int>& net_vertices(int net) const {
+    return terminals_[static_cast<std::size_t>(net)];
+  }
+  /// All pins of the net fall into one tile (to be pre-routed, §2.5).
+  bool is_local(int net) const {
+    return terminals_[static_cast<std::size_t>(net)].size() < 2;
+  }
+
+  /// Run global routing; result[n] is the Steiner forest of net n.
+  std::vector<SteinerSolution> route(const GlobalRouterParams& params,
+                                     GlobalRoutingStats* stats = nullptr);
+
+  /// Tiles covered by a net's global route (plus the given halo in tiles) —
+  /// the detailed-routing corridor (§4.4).
+  std::vector<Rect> corridor(const SteinerSolution& sol, int halo_tiles) const;
+
+ private:
+  const Chip* chip_;
+  std::unique_ptr<GlobalGraph> graph_;
+  std::vector<std::vector<int>> terminals_;
+};
+
+}  // namespace bonn

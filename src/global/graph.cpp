@@ -1,0 +1,178 @@
+#include "src/global/graph.hpp"
+
+#include <algorithm>
+
+#include "src/global/stacked_vias.hpp"
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+GlobalGraph::GlobalGraph(const Tech& tech, const TrackGraph& tg,
+                         const FastGrid& fg, int nx, int ny,
+                         std::span<const Point> pin_anchors)
+    : die_(tg.die()), nx_(nx), ny_(ny), layers_(tech.num_wiring()) {
+  BONN_CHECK(nx >= 2 && ny >= 2);
+  tile_w_ = (die_.width() + nx - 1) / nx;
+  tile_h_ = (die_.height() + ny - 1) / ny;
+  build_edges(tech, tg, fg, pin_anchors);
+}
+
+std::pair<int, int> GlobalGraph::tile_of(const Point& p) const {
+  const int tx = static_cast<int>(
+      std::clamp<Coord>((p.x - die_.xlo) / tile_w_, 0, nx_ - 1));
+  const int ty = static_cast<int>(
+      std::clamp<Coord>((p.y - die_.ylo) / tile_h_, 0, ny_ - 1));
+  return {tx, ty};
+}
+
+Rect GlobalGraph::tile_rect(int tx, int ty) const {
+  return Rect{die_.xlo + tx * tile_w_, die_.ylo + ty * tile_h_,
+              std::min(die_.xlo + (tx + 1) * tile_w_, die_.xhi),
+              std::min(die_.ylo + (ty + 1) * tile_h_, die_.yhi)};
+}
+
+Point GlobalGraph::tile_center(int tx, int ty) const {
+  return tile_rect(tx, ty).center();
+}
+
+Coord GlobalGraph::l1_lower_bound(int a, int b) const {
+  const Coord dx = abs_diff(tx_of(a), tx_of(b)) * tile_w_;
+  const Coord dy = abs_diff(ty_of(a), ty_of(b)) * tile_h_;
+  return dx + dy;
+}
+
+double GlobalGraph::wire_capacity(const TrackGraph& tg, const FastGrid& fg,
+                                  int layer, int tx, int ty, int tx2,
+                                  int ty2) const {
+  // §2.5: count usable track-graph vertices in the two tile areas between
+  // the tile centres in preferred direction; divide by the number of
+  // vertices one track contributes in that window.
+  const Point c1 = tile_center(tx, ty);
+  const Point c2 = tile_center(tx2, ty2);
+  const Rect band = tile_rect(tx, ty).hull(tile_rect(tx2, ty2));
+  const Dir pref = tg.pref(layer);
+  const Interval along{std::min(c1.along(pref), c2.along(pref)),
+                       std::max(c1.along(pref), c2.along(pref))};
+  const auto [slo, shi] = tg.station_range(layer, along);
+  const auto [tlo, thi] = tg.track_range(layer, band.iv(orthogonal(pref)));
+  if (slo > shi || tlo > thi) return 0.0;
+
+  const int per_track = shi - slo + 1;
+  std::int64_t usable = 0;
+  for (int ti = tlo; ti <= thi; ++ti) {
+    fg.for_each_run(layer, ti, slo, shi,
+                    [&](Coord lo, Coord hi, std::uint64_t word) {
+                      // A vertex is usable if a standard wire may pass it
+                      // without any ripup.
+                      if (FastGrid::wiring_field(word, 0, FastGrid::kWireF) ==
+                          FastGrid::kFree) {
+                        usable += hi - lo;
+                      }
+                    });
+  }
+  return static_cast<double>(usable) / per_track;
+}
+
+double GlobalGraph::via_capacity(const TrackGraph& tg, const FastGrid& fg,
+                                 int layer, int tx, int ty) const {
+  // Vias from `layer` to layer+1 placeable in the tile: usable via lattice
+  // positions (pairwise cut spacing fits inside one pitch in our decks, so
+  // lattice positions are simultaneously placeable).
+  const Rect tile = tile_rect(tx, ty);
+  const Dir pref = tg.pref(layer);
+  const auto [tlo, thi] = tg.track_range(layer, tile.iv(orthogonal(pref)));
+  const auto [slo, shi] = tg.station_range(layer, tile.iv(pref));
+  if (slo > shi || tlo > thi) return 0.0;
+  std::int64_t usable = 0;
+  for (int ti = tlo; ti <= thi; ++ti) {
+    for (int si = slo; si <= shi; ++si) {
+      if (tg.up_track(layer, si) < 0) continue;
+      if (fg.via_level({layer, ti, si}, 0) == FastGrid::kFree) ++usable;
+    }
+  }
+  // Vias compete with through-wires for the same vertices; derate.
+  return 0.5 * static_cast<double>(usable);
+}
+
+void GlobalGraph::build_edges(const Tech& tech, const TrackGraph& tg,
+                              const FastGrid& fg,
+                              std::span<const Point> pin_anchors) {
+  // §2.5 stacked-via refinement: pins climb from the bottom layer through
+  // the middle layers; their expected stack occupancy shrinks the planar
+  // capacity of layers 1..2 per tile, sublinearly in the pin count.
+  std::vector<int> pins_per_tile(static_cast<std::size_t>(nx_ * ny_), 0);
+  for (const Point& p : pin_anchors) {
+    const auto [tx, ty] = tile_of(p);
+    ++pins_per_tile[static_cast<std::size_t>(ty * nx_ + tx)];
+  }
+  const StackedViaModel sv_model;
+  auto stacked_factor = [&](int layer, int tx, int ty) {
+    if (pin_anchors.empty() || layer < 1 || layer > 2) return 1.0;
+    const int k =
+        std::min(pins_per_tile[static_cast<std::size_t>(ty * nx_ + tx)], 12);
+    return stacked_via_capacity_factor(sv_model, k);
+  };
+
+  for (int l = 0; l < layers_; ++l) {
+    const bool horiz = tech.pref(l) == Dir::kHorizontal;
+    for (int ty = 0; ty < ny_; ++ty) {
+      for (int tx = 0; tx < nx_; ++tx) {
+        if (horiz && tx + 1 < nx_) {
+          GlobalEdge e;
+          e.u = vertex(tx, ty, l);
+          e.v = vertex(tx + 1, ty, l);
+          e.capacity = wire_capacity(tg, fg, l, tx, ty, tx + 1, ty) *
+                       std::min(stacked_factor(l, tx, ty),
+                                stacked_factor(l, tx + 1, ty));
+          e.length = l1_dist(tile_center(tx, ty), tile_center(tx + 1, ty));
+          e.layer = l;
+          edges_.push_back(e);
+        }
+        if (!horiz && ty + 1 < ny_) {
+          GlobalEdge e;
+          e.u = vertex(tx, ty, l);
+          e.v = vertex(tx, ty + 1, l);
+          e.capacity = wire_capacity(tg, fg, l, tx, ty, tx, ty + 1) *
+                       std::min(stacked_factor(l, tx, ty),
+                                stacked_factor(l, tx, ty + 1));
+          e.length = l1_dist(tile_center(tx, ty), tile_center(tx, ty + 1));
+          e.layer = l;
+          edges_.push_back(e);
+        }
+        if (l + 1 < layers_) {
+          GlobalEdge e;
+          e.u = vertex(tx, ty, l);
+          e.v = vertex(tx, ty, l + 1);
+          e.capacity = via_capacity(tg, fg, l, tx, ty);
+          e.length = 0;
+          e.layer = l;
+          e.via = true;
+          edges_.push_back(e);
+        }
+      }
+    }
+  }
+  // Adjacency lists.
+  std::vector<int> degree(static_cast<std::size_t>(num_vertices()), 0);
+  for (const GlobalEdge& e : edges_) {
+    ++degree[static_cast<std::size_t>(e.u)];
+    ++degree[static_cast<std::size_t>(e.v)];
+  }
+  adj_index_.resize(static_cast<std::size_t>(num_vertices()));
+  std::size_t off = 0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    adj_index_[static_cast<std::size_t>(v)] = {off, 0};
+    off += static_cast<std::size_t>(degree[static_cast<std::size_t>(v)]);
+  }
+  adj_edges_.resize(off);
+  for (int i = 0; i < num_edges(); ++i) {
+    const GlobalEdge& e = edges_[static_cast<std::size_t>(i)];
+    for (int v : {e.u, e.v}) {
+      auto& [start, count] = adj_index_[static_cast<std::size_t>(v)];
+      adj_edges_[start + static_cast<std::size_t>(count)] = i;
+      ++count;
+    }
+  }
+}
+
+}  // namespace bonn

@@ -1,0 +1,93 @@
+// The global routing graph (§2.1, §2.5).
+//
+// The chip is divided into tiles sized for ~50–100 parallel minimum-width
+// wires per layer; each (tile, layer) pair is a vertex.  Edges connect
+// adjacent tiles in the layer's preferred direction (no non-preferred
+// routing in the global model) and vertically adjacent layers (vias).
+// Edge capacities estimate how many standard wires fit, computed by counting
+// usable track-graph vertices between tile centres (§2.5) — so blockages,
+// power stripes and pre-routed nets all reduce capacity exactly as in the
+// paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/fastgrid/fast_grid.hpp"
+#include "src/tracks/track_graph.hpp"
+
+namespace bonn {
+
+struct GlobalEdge {
+  int u = -1, v = -1;   ///< vertex ids
+  double capacity = 0;  ///< u(e), in standard-wire track units
+  Coord length = 0;     ///< planar centre distance (0 for via edges)
+  int layer = -1;       ///< wiring layer (planar) or lower layer (via)
+  bool via = false;
+};
+
+class GlobalGraph {
+ public:
+  /// Build the graph over an `nx` x `ny` tile array.  Capacities are counted
+  /// from the fast grid (which must reflect all shapes routed so far).
+  /// `pin_anchors` (optional) feeds the §2.5 stacked-via refinement: pins on
+  /// the bottom layer will climb through the middle layers, and the expected
+  /// column occupancy of their via stacks reduces those layers' capacities
+  /// sublinearly (see stacked_vias.hpp).
+  GlobalGraph(const Tech& tech, const TrackGraph& tg, const FastGrid& fg,
+              int nx, int ny, std::span<const Point> pin_anchors = {});
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int layers() const { return layers_; }
+  int num_vertices() const { return nx_ * ny_ * layers_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  int vertex(int tx, int ty, int l) const { return (l * ny_ + ty) * nx_ + tx; }
+  int tx_of(int v) const { return v % nx_; }
+  int ty_of(int v) const { return (v / nx_) % ny_; }
+  int layer_of(int v) const { return v / (nx_ * ny_); }
+
+  /// Tile index of a planar point.
+  std::pair<int, int> tile_of(const Point& p) const;
+  Rect tile_rect(int tx, int ty) const;
+  Point tile_center(int tx, int ty) const;
+
+  const GlobalEdge& edge(int e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  std::vector<GlobalEdge>& mutable_edges() { return edges_; }
+  const std::vector<GlobalEdge>& edges() const { return edges_; }
+
+  /// Edge ids incident to vertex v.
+  std::span<const int> incident(int v) const {
+    const auto& idx = adj_index_[static_cast<std::size_t>(v)];
+    return {adj_edges_.data() + idx.first, static_cast<std::size_t>(idx.second)};
+  }
+  int other_end(int e, int v) const {
+    const GlobalEdge& ed = edges_[static_cast<std::size_t>(e)];
+    return ed.u == v ? ed.v : ed.u;
+  }
+
+  /// ℓ1 tile distance lower bound between two vertices (future cost).
+  Coord l1_lower_bound(int a, int b) const;
+
+  const Rect& die() const { return die_; }
+
+ private:
+  void build_edges(const Tech& tech, const TrackGraph& tg, const FastGrid& fg,
+                   std::span<const Point> pin_anchors);
+  double wire_capacity(const TrackGraph& tg, const FastGrid& fg, int layer,
+                       int tx, int ty, int tx2, int ty2) const;
+  double via_capacity(const TrackGraph& tg, const FastGrid& fg, int layer,
+                      int tx, int ty) const;
+
+  Rect die_;
+  int nx_, ny_, layers_;
+  Coord tile_w_, tile_h_;
+  std::vector<GlobalEdge> edges_;
+  std::vector<std::pair<std::size_t, int>> adj_index_;  ///< per vertex
+  std::vector<int> adj_edges_;
+};
+
+}  // namespace bonn

@@ -1,0 +1,99 @@
+#include "src/global/resources.hpp"
+
+#include <algorithm>
+
+#include "src/geom/rsmt.hpp"
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+ResourceModel::ResourceModel(const GlobalGraph& graph, const Chip& chip,
+                             int max_extra_space, double detour_bound)
+    : graph_(&graph), max_s_(max_extra_space) {
+  BONN_CHECK(max_s_ >= 0);
+  widths_.reserve(chip.nets.size());
+  weights_.reserve(chip.nets.size());
+  for (const Net& n : chip.nets) {
+    widths_.push_back(chip.tech.wt(n.wiretype).track_usage);
+    weights_.push_back(n.weight);
+  }
+
+  // Effective lengths in tile units (planar edge = 1 tile, via = 0.5).
+  const double tile_len = 0.5 * (graph.tile_rect(0, 0).width() +
+                                 graph.tile_rect(0, 0).height());
+  eff_len_.reserve(static_cast<std::size_t>(graph.num_edges()));
+  for (const GlobalEdge& e : graph.edges()) {
+    // A via counts like a full tile of wire: vias hurt yield and delay
+    // (§2.1's objective mix), so the oracle must not hop layers casually.
+    eff_len_.push_back(e.via ? 1.0
+                             : static_cast<double>(e.length) / tile_len);
+  }
+
+  // Objective bounds: "guess a value we expect to be achievable" (§2.1).
+  // Steiner lower bounds per net (in tile units) plus 10 % headroom; vias
+  // are bounded by pin spans across layers.
+  double wl_lb = 0, pw_lb = 0, yd_lb = 0;
+  for (const Net& n : chip.nets) {
+    const auto terms = chip.net_terminals(n.id);
+    const double steiner =
+        static_cast<double>(rsmt_length(terms)) / tile_len +
+        0.5 * 2.0 * 2.0;  // two stacked via hops as baseline
+    wl_lb += steiner;
+    pw_lb += gamma_power(steiner, n.weight, 0);
+    yd_lb += gamma_yield(steiner, n.weight, 0);
+  }
+  u_wl_ = std::max(1.0, 1.10 * wl_lb);
+  u_power_ = std::max(1.0, 1.15 * pw_lb);
+  u_yield_ = std::max(1.0, 1.15 * yd_lb);
+
+  // Detour bounds for critical nets (§2.1): a per-net resource whose bound
+  // is detour_bound x the net's Steiner length (in effective tile units,
+  // with baseline via hops included so feasible solutions exist).
+  detour_res_.assign(chip.nets.size(), -1);
+  if (detour_bound > 0) {
+    for (const Net& n : chip.nets) {
+      if (n.weight <= 1.0) continue;
+      const auto terms = chip.net_terminals(n.id);
+      const double steiner =
+          static_cast<double>(rsmt_length(terms)) / tile_len + 2.0;
+      detour_res_[static_cast<std::size_t>(n.id)] =
+          graph.num_edges() + 3 + static_cast<int>(detour_caps_.size());
+      detour_caps_.push_back(std::max(1.0, detour_bound * steiner));
+    }
+  }
+}
+
+std::pair<double, int> ResourceModel::edge_cost(const std::vector<double>& y,
+                                                int net, int e) const {
+  const double w = width(net);
+  const double u = u_edge(e);
+  const double len = eff_length(e);
+  const double weight = weights_[static_cast<std::size_t>(net)];
+  double base = y[static_cast<std::size_t>(wl_resource())] * len / u_wl_;
+  const int dr = detour_res_[static_cast<std::size_t>(net)];
+  if (dr >= 0) {
+    base += y[static_cast<std::size_t>(dr)] * len /
+            detour_caps_[static_cast<std::size_t>(dr - graph_->num_edges() - 3)];
+  }
+
+  double best = -1.0;
+  int best_s = 0;
+  for (int s = 0; s <= max_s_; ++s) {
+    // Formula (1): respect γ_space(s) <= u(e); s = 0 is always admissible so
+    // that over-subscribed edges stay expensive-but-usable.
+    if (s > 0 && w + s > u) break;
+    double c = base +
+               y[static_cast<std::size_t>(space_resource(e))] * (w + s) / u +
+               y[static_cast<std::size_t>(power_resource())] *
+                   gamma_power(len, weight, s) / u_power_ +
+               y[static_cast<std::size_t>(yield_resource())] *
+                   gamma_yield(len, weight, s) / u_yield_;
+    if (best < 0 || c < best) {
+      best = c;
+      best_s = s;
+    }
+  }
+  return {best, best_s};
+}
+
+}  // namespace bonn

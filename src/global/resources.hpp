@@ -1,0 +1,110 @@
+// The resource model of the global routing problem (§2.1, Fig. 1).
+//
+// Resources R = one space resource per global edge + three global resources:
+// the wirelength objective, power consumption and yield loss.  Each net's
+// use of an edge consumes resources through convex functions γ(s) of the
+// allocated extra space s: space linearly, power and yield *decreasingly*
+// (more spacing means less coupling capacitance and fewer shorts) — the
+// three curves of Fig. 1.  All consumptions are normalized by the resource
+// bounds u^r so the resource-sharing algorithm works with g = γ/u ∈ [0, 1].
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/db/chip.hpp"
+#include "src/global/graph.hpp"
+
+namespace bonn {
+
+class ResourceModel {
+ public:
+  /// `max_extra_space`: largest extra space (in track units) the oracle may
+  /// allocate on an edge; 0 disables the extra-space feature (ablation).
+  /// `detour_bound`: if > 0, every *critical* net (weight > 1) gets its own
+  /// resource bounding its routed length to detour_bound x its Steiner
+  /// length — §2.1's "constraints bounding, for instance, detours of
+  /// certain nets".
+  ResourceModel(const GlobalGraph& graph, const Chip& chip,
+                int max_extra_space = 3, double detour_bound = 0.0);
+
+  int num_resources() const {
+    return graph_->num_edges() + 3 + static_cast<int>(detour_caps_.size());
+  }
+  int space_resource(int edge) const { return edge; }
+  int wl_resource() const { return graph_->num_edges(); }
+  int power_resource() const { return graph_->num_edges() + 1; }
+  int yield_resource() const { return graph_->num_edges() + 2; }
+  /// Detour resource of a net, or -1 when unconstrained.
+  int detour_resource(int net) const {
+    return detour_res_[static_cast<std::size_t>(net)];
+  }
+
+  int max_extra_space() const { return max_s_; }
+
+  /// Track units one wire of this net occupies (w(n, e) of §2.1).
+  double width(int net) const {
+    return widths_[static_cast<std::size_t>(net)];
+  }
+
+  /// u^r of the space resource of an edge.
+  double u_edge(int e) const {
+    return std::max(graph_->edge(e).capacity, 0.25);
+  }
+  double u_wl() const { return u_wl_; }
+  double u_power() const { return u_power_; }
+  double u_yield() const { return u_yield_; }
+
+  /// Raw resource functions γ (Fig. 1), before normalization; `len` is the
+  /// effective edge length (vias get an equivalent length).
+  static double gamma_power(double len, double weight, int s) {
+    return weight * len * (0.30 + 0.70 / (1.0 + s));
+  }
+  static double gamma_yield(double len, double weight, int s) {
+    (void)weight;
+    return len * (0.20 + 0.80 / ((1.0 + s) * (1.0 + s)));
+  }
+
+  /// Effective length of an edge for the global objectives (via edges count
+  /// as half a tile so the oracle trades vias against wirelength).
+  double eff_length(int e) const {
+    return eff_len_[static_cast<std::size_t>(e)];
+  }
+
+  /// Cost of net `net` using edge `e` under prices `y`, minimized over the
+  /// extra space s subject to γ_space(s) <= u(e) — formula (1) of §2.2.
+  /// Returns {cost, s*}.
+  std::pair<double, int> edge_cost(const std::vector<double>& y, int net,
+                                   int e) const;
+
+  /// Normalized consumptions g^r of (net, e, s): fn(resource, g_value).
+  template <typename Fn>
+  void for_each_usage(int net, int e, int s, Fn fn) const {
+    const double w = width(net);
+    const double len = eff_length(e);
+    const double weight = weights_[static_cast<std::size_t>(net)];
+    fn(space_resource(e), (w + s) / u_edge(e));
+    fn(wl_resource(), len / u_wl_);
+    fn(power_resource(), gamma_power(len, weight, s) / u_power_);
+    fn(yield_resource(), gamma_yield(len, weight, s) / u_yield_);
+    const int dr = detour_res_[static_cast<std::size_t>(net)];
+    if (dr >= 0) {
+      fn(dr, len / detour_caps_[static_cast<std::size_t>(
+                  dr - graph_->num_edges() - 3)]);
+    }
+  }
+
+  const GlobalGraph& graph() const { return *graph_; }
+
+ private:
+  const GlobalGraph* graph_;
+  int max_s_;
+  std::vector<double> widths_;   ///< per net
+  std::vector<double> weights_;  ///< per net
+  std::vector<double> eff_len_;  ///< per edge, in tile units
+  double u_wl_ = 1, u_power_ = 1, u_yield_ = 1;
+  std::vector<int> detour_res_;      ///< per net: resource id or -1
+  std::vector<double> detour_caps_;  ///< per detour resource: u^r
+};
+
+}  // namespace bonn

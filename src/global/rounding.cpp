@@ -1,0 +1,183 @@
+#include "src/global/rounding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Space usage bookkeeping over edges.
+class EdgeUsage {
+ public:
+  explicit EdgeUsage(const ResourceModel& model)
+      : model_(&model),
+        usage_(static_cast<std::size_t>(model.graph().num_edges()), 0.0) {}
+
+  void apply(int net, const SteinerSolution& sol, double sign) {
+    for (const auto& [e, s] : sol.edges) {
+      usage_[static_cast<std::size_t>(e)] +=
+          sign * (model_->width(net) + s);
+    }
+  }
+
+  double overflow(int e) const {
+    return std::max(0.0, usage_[static_cast<std::size_t>(e)] -
+                             model_->u_edge(e));
+  }
+
+  double total_overflow() const {
+    double t = 0;
+    for (int e = 0; e < model_->graph().num_edges(); ++e) t += overflow(e);
+    return t;
+  }
+
+  int overflowed_edges() const {
+    int c = 0;
+    for (int e = 0; e < model_->graph().num_edges(); ++e) {
+      if (overflow(e) > 1e-9) ++c;
+    }
+    return c;
+  }
+
+  /// Overflow delta if `sol` of `net` were added on top of current usage.
+  double added_overflow(int net, const SteinerSolution& sol) const {
+    double t = 0;
+    for (const auto& [e, s] : sol.edges) {
+      const double u = model_->u_edge(e);
+      const double before = usage_[static_cast<std::size_t>(e)];
+      const double after = before + model_->width(net) + s;
+      t += std::max(0.0, after - u) - std::max(0.0, before - u);
+    }
+    return t;
+  }
+
+  bool uses_overflowed(const SteinerSolution& sol) const {
+    for (const auto& [e, s] : sol.edges) {
+      (void)s;
+      if (overflow(e) > 1e-9) return true;
+    }
+    return false;
+  }
+
+ private:
+  const ResourceModel* model_;
+  std::vector<double> usage_;
+};
+
+}  // namespace
+
+IntegralAssignment round_and_fix(const ResourceModel& model,
+                                 const SteinerOracle& oracle,
+                                 const FractionalSolution& frac,
+                                 const std::vector<std::vector<int>>& terminals,
+                                 const RoundingParams& params,
+                                 RoundingStats* stats) {
+  Timer timer;
+  Rng rng(params.seed);
+  const std::size_t N = frac.per_net.size();
+  IntegralAssignment out;
+  out.per_net.resize(N);
+  EdgeUsage usage(model);
+
+  // ---- Randomized rounding.
+  for (std::size_t n = 0; n < N; ++n) {
+    const auto& sols = frac.per_net[n];
+    if (sols.empty()) continue;
+    const double u = rng.uniform();
+    double acc = 0;
+    std::size_t pick = sols.size() - 1;
+    for (std::size_t i = 0; i < sols.size(); ++i) {
+      acc += sols[i].second;
+      if (u <= acc) {
+        pick = i;
+        break;
+      }
+    }
+    out.per_net[n] = sols[pick].first;
+    usage.apply(static_cast<int>(n), out.per_net[n], +1);
+  }
+  const int initial_overflow = usage.overflowed_edges();
+
+  // ---- Rechoose from the support.
+  std::vector<char> rechosen(N, 0);
+  for (int pass = 0;
+       pass < params.rechoose_passes && usage.overflowed_edges() > 0; ++pass) {
+    bool improved = false;
+    for (std::size_t n = 0; n < N; ++n) {
+      const auto& sols = frac.per_net[n];
+      if (sols.size() < 2) continue;
+      if (!usage.uses_overflowed(out.per_net[n])) continue;
+      usage.apply(static_cast<int>(n), out.per_net[n], -1);
+      const double cur = usage.added_overflow(static_cast<int>(n),
+                                              out.per_net[n]);
+      double best = cur;
+      int best_i = -1;
+      for (std::size_t i = 0; i < sols.size(); ++i) {
+        if (sols[i].first == out.per_net[n]) continue;
+        const double o = usage.added_overflow(static_cast<int>(n),
+                                              sols[i].first);
+        if (o < best - 1e-12) {
+          best = o;
+          best_i = static_cast<int>(i);
+        }
+      }
+      if (best_i >= 0) {
+        out.per_net[n] = sols[static_cast<std::size_t>(best_i)].first;
+        if (!rechosen[n]) {
+          rechosen[n] = 1;
+        }
+        improved = true;
+      }
+      usage.apply(static_cast<int>(n), out.per_net[n], +1);
+    }
+    if (!improved) break;
+  }
+
+  // ---- Fresh reroutes for the stubborn remainder.
+  int fresh = 0;
+  SteinerOracle::Workspace ws;
+  for (int round = 0;
+       round < params.reroute_rounds && usage.overflowed_edges() > 0;
+       ++round) {
+    // Prices: heavily penalize overflowed space resources.
+    std::vector<double> y(static_cast<std::size_t>(model.num_resources()),
+                          1.0);
+    for (int e = 0; e < model.graph().num_edges(); ++e) {
+      y[static_cast<std::size_t>(model.space_resource(e))] =
+          1.0 + params.overflow_price * usage.overflow(e);
+    }
+    bool changed = false;
+    for (std::size_t n = 0; n < N; ++n) {
+      if (out.per_net[n].edges.empty()) continue;
+      if (!usage.uses_overflowed(out.per_net[n])) continue;
+      usage.apply(static_cast<int>(n), out.per_net[n], -1);
+      SteinerSolution alt =
+          oracle.solve(terminals[n], static_cast<int>(n), y, ws);
+      if (usage.added_overflow(static_cast<int>(n), alt) <
+          usage.added_overflow(static_cast<int>(n), out.per_net[n]) - 1e-12) {
+        out.per_net[n] = std::move(alt);
+        ++fresh;
+        changed = true;
+      }
+      usage.apply(static_cast<int>(n), out.per_net[n], +1);
+    }
+    if (!changed) break;
+  }
+
+  if (stats) {
+    stats->seconds = timer.seconds();
+    stats->overflowed_edges_initial = initial_overflow;
+    stats->overflowed_edges_final = usage.overflowed_edges();
+    stats->nets_rechosen = static_cast<int>(
+        std::count(rechosen.begin(), rechosen.end(), char(1)));
+    stats->fresh_routes = fresh;
+  }
+  return out;
+}
+
+}  // namespace bonn

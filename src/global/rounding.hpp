@@ -1,0 +1,44 @@
+// Randomized rounding and rip-up & reroute (§2.4).
+//
+// Pick each net's solution from its convex combination with the weights as
+// probabilities (Raghavan–Thompson), then eliminate the few capacity
+// violations: first by *rechoosing* alternative solutions from the support
+// (the vast majority of repairs), then — for the handful of nets that
+// cannot be fixed that way — by generating genuinely new routes with the
+// oracle under overflow-penalizing prices.
+#pragma once
+
+#include <cstdint>
+
+#include "src/global/sharing.hpp"
+
+namespace bonn {
+
+struct RoundingParams {
+  std::uint64_t seed = 42;
+  int rechoose_passes = 6;
+  int reroute_rounds = 4;
+  double overflow_price = 50.0;  ///< price boost per unit of edge overflow
+};
+
+struct RoundingStats {
+  double seconds = 0;
+  int overflowed_edges_initial = 0;
+  int overflowed_edges_final = 0;
+  int nets_rechosen = 0;   ///< repaired from the convex-combination support
+  int fresh_routes = 0;    ///< genuinely new oracle routes (paper: <= 5)
+};
+
+/// Final integral assignment per net (empty for locally-connected nets).
+struct IntegralAssignment {
+  std::vector<SteinerSolution> per_net;
+};
+
+IntegralAssignment round_and_fix(const ResourceModel& model,
+                                 const SteinerOracle& oracle,
+                                 const FractionalSolution& frac,
+                                 const std::vector<std::vector<int>>& terminals,
+                                 const RoundingParams& params,
+                                 RoundingStats* stats = nullptr);
+
+}  // namespace bonn

@@ -1,0 +1,141 @@
+#include "src/global/sharing.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <mutex>
+
+#include "src/util/assert.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+FractionalSolution ResourceSharing::run(
+    const std::vector<std::vector<int>>& terminals,
+    const SharingParams& params, SharingStats* stats) const {
+  Timer timer;
+  const int R = model_->num_resources();
+  const std::size_t N = terminals.size();
+
+  FractionalSolution frac;
+  frac.per_net.resize(N);
+  std::vector<double> y(static_cast<std::size_t>(R), 1.0);
+
+  // Last-used solution per net for the reuse speed-up.
+  std::vector<int> last_idx(N, -1);
+  std::vector<double> last_price(N, 0.0);
+  std::vector<double> last_scale(N, 1.0);
+  std::atomic<std::uint64_t> reuses{0};
+  // Global inflation gauge: every solution pays the wirelength resource, so
+  // its price is the natural deflator for the reuse test (prices grow by
+  // ~e^{ελ} per phase for *all* nets; only relative drift matters).
+  const std::size_t wl_res = static_cast<std::size_t>(model_->wl_resource());
+
+  std::unique_ptr<ThreadPool> pool;
+  if (params.threads > 1) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(params.threads));
+  }
+  std::vector<SteinerOracle::Workspace> ws(
+      static_cast<std::size_t>(std::max(params.threads, 1)));
+  std::mutex price_mu;  // serializes price updates; reads stay unlocked
+                        // (volatility-tolerant, §5.1)
+
+  auto handle_net = [&](std::size_t n, int phase, SteinerOracle::Workspace& w) {
+    if (terminals[n].size() < 2) return;
+    auto& sols = frac.per_net[n];
+    int chosen = -1;
+
+    if (params.oracle_reuse && phase > 0 && last_idx[n] >= 0) {
+      const double cur =
+          oracle_->price(sols[static_cast<std::size_t>(last_idx[n])].first,
+                         static_cast<int>(n), y);
+      const double inflation = y[wl_res] / last_scale[n];
+      if (cur <= params.reuse_slack * last_price[n] * inflation) {
+        chosen = last_idx[n];
+        ++reuses;
+      }
+    }
+    if (chosen < 0) {
+      SteinerSolution b =
+          oracle_->solve(terminals[n], static_cast<int>(n), y, w);
+      // The reuse test compares against the price at (re)computation time,
+      // deflated by the global inflation gauge.
+      last_price[n] = b.cost;
+      last_scale[n] = y[wl_res];
+      // Deduplicate into the convex combination support.
+      chosen = -1;
+      for (std::size_t i = 0; i < sols.size(); ++i) {
+        if (sols[i].first == b) {
+          chosen = static_cast<int>(i);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        sols.push_back({std::move(b), 0.0});
+        chosen = static_cast<int>(sols.size()) - 1;
+      }
+    }
+    last_idx[n] = chosen;
+    auto& [sol, weight] = sols[static_cast<std::size_t>(chosen)];
+    weight += 1.0;
+
+    // Price update: y_r *= e^{ε g_n^r(b)}.
+    std::lock_guard<std::mutex> lock(price_mu);
+    for (const auto& [e, s] : sol.edges) {
+      model_->for_each_usage(static_cast<int>(n), e, s, [&](int r, double g) {
+        y[static_cast<std::size_t>(r)] *= std::exp(params.epsilon * g);
+      });
+    }
+  };
+
+  for (int phase = 0; phase < params.phases; ++phase) {
+    if (pool) {
+      // Shard nets across threads; prices are shared and updated under a
+      // light lock (reads are racy by design — volatility tolerant).
+      const std::size_t T = pool->size();
+      pool->parallel_for(T, [&](std::size_t t) {
+        for (std::size_t n = t; n < N; n += T) {
+          handle_net(n, phase, ws[t]);
+        }
+      });
+    } else {
+      for (std::size_t n = 0; n < N; ++n) handle_net(n, phase, ws[0]);
+    }
+  }
+
+  // Normalize weights to a convex combination.
+  for (auto& sols : frac.per_net) {
+    double total = 0;
+    for (auto& [sol, wgt] : sols) total += wgt;
+    if (total > 0) {
+      for (auto& [sol, wgt] : sols) wgt /= total;
+    }
+  }
+  frac.final_prices = y;
+
+  if (stats) {
+    stats->seconds = timer.seconds();
+    stats->oracle_calls = oracle_->calls();
+    stats->reuses = reuses;
+    // λ of the fractional solution: max over resources of total usage.
+    std::vector<double> usage(static_cast<std::size_t>(R), 0.0);
+    for (std::size_t n = 0; n < N; ++n) {
+      for (const auto& [sol, wgt] : frac.per_net[n]) {
+        for (const auto& [e, s] : sol.edges) {
+          model_->for_each_usage(static_cast<int>(n), e, s,
+                                 [&](int r, double g) {
+                                   usage[static_cast<std::size_t>(r)] += wgt * g;
+                                 });
+        }
+      }
+    }
+    stats->lambda = usage.empty()
+                        ? 0.0
+                        : *std::max_element(usage.begin(), usage.end());
+  }
+  return frac;
+}
+
+}  // namespace bonn

@@ -1,0 +1,57 @@
+// Algorithm 2: the min-max resource sharing algorithm (§2.3).
+//
+// The fastest known FPTAS for min-max resource sharing [Müller, Radke,
+// Vygen 2011]: t phases; in each phase every net gets a solution from the
+// block oracle under current prices, prices rise multiplicatively with
+// consumption (y_r *= e^{ε g}), and the final fractional solution is the
+// average over phases.  Includes the practical speed-ups the paper names:
+// oracle reuse when the previous solution is still cheap under current
+// prices, and optional shared-price parallelism (volatility-tolerant block
+// solvers, §5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "src/global/steiner.hpp"
+
+namespace bonn {
+
+struct SharingParams {
+  int phases = 8;          ///< t (paper default 125; scaled-down instances
+                           ///< converge much earlier, see bench_ablations)
+  double epsilon = 1.0;    ///< ε (paper: 1 works well)
+  bool oracle_reuse = true;
+  double reuse_slack = 1.25;  ///< reuse while current price <= slack * old
+  int threads = 1;            ///< >1: volatility-tolerant shared prices
+};
+
+struct SharingStats {
+  double seconds = 0;
+  std::uint64_t oracle_calls = 0;
+  std::uint64_t reuses = 0;
+  double lambda = 0;  ///< max_r Σ_n g_n^r of the fractional solution
+};
+
+/// Convex combination per net: distinct solutions with weights summing to 1.
+struct FractionalSolution {
+  std::vector<std::vector<std::pair<SteinerSolution, double>>> per_net;
+  std::vector<double> final_prices;  ///< y at termination
+};
+
+class ResourceSharing {
+ public:
+  ResourceSharing(const ResourceModel& model, const SteinerOracle& oracle)
+      : model_(&model), oracle_(&oracle) {}
+
+  /// `terminals[n]`: deduplicated global-graph vertex ids of net n; nets
+  /// with fewer than two vertices are skipped (already locally connected).
+  FractionalSolution run(const std::vector<std::vector<int>>& terminals,
+                         const SharingParams& params,
+                         SharingStats* stats = nullptr) const;
+
+ private:
+  const ResourceModel* model_;
+  const SteinerOracle* oracle_;
+};
+
+}  // namespace bonn

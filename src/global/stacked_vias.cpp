@@ -1,0 +1,53 @@
+#include "src/global/stacked_vias.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+
+namespace bonn {
+
+double expected_column_occupancy(const StackedViaModel& model, int k) {
+  BONN_CHECK(model.footprint >= 1 && model.lattice_cols >= model.footprint);
+  BONN_CHECK(model.lattice_rows >= 1 && k >= 0);
+  if (k == 0) return 0.0;
+  Rng rng(model.seed);
+  const int positions_per_row = model.lattice_cols - model.footprint + 1;
+
+  double total = 0.0;
+  std::vector<int> col_count(static_cast<std::size_t>(model.lattice_cols));
+  std::vector<std::uint32_t> row_mask(
+      static_cast<std::size_t>(model.lattice_rows));
+  for (int s = 0; s < model.samples; ++s) {
+    std::fill(col_count.begin(), col_count.end(), 0);
+    std::fill(row_mask.begin(), row_mask.end(), 0u);
+    int placed = 0;
+    int attempts = 0;
+    while (placed < k && attempts < 64 * k) {
+      ++attempts;
+      const int row = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(model.lattice_rows)));
+      const int col = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(positions_per_row)));
+      std::uint32_t mask = 0;
+      for (int j = 0; j < model.footprint; ++j) mask |= 1u << (col + j);
+      if (row_mask[static_cast<std::size_t>(row)] & mask) continue;  // overlap
+      row_mask[static_cast<std::size_t>(row)] |= mask;
+      for (int j = 0; j < model.footprint; ++j) {
+        ++col_count[static_cast<std::size_t>(col + j)];
+      }
+      ++placed;
+    }
+    total += *std::max_element(col_count.begin(), col_count.end());
+  }
+  return std::min<double>(total / model.samples,
+                          static_cast<double>(model.lattice_rows));
+}
+
+double stacked_via_capacity_factor(const StackedViaModel& model, int k) {
+  const double occ = expected_column_occupancy(model, k);
+  return std::max(0.0, 1.0 - occ / static_cast<double>(model.lattice_rows));
+}
+
+}  // namespace bonn

@@ -1,0 +1,35 @@
+// Stacked-via capacity reduction (§2.5, second refinement).
+//
+// A stacked via from layer l to l+2 consumes space on l+1.  The expected
+// capacity reduction is sublinear in the number of stacked vias, so
+// BonnRoute precomputes, for k stacked vias of footprint p placed in a
+// normalized region, the expected maximum number of occupied vertices in a
+// lattice column — a rough estimate of how many through-tracks the vias
+// steal.  The paper computes this by combinatorial counting; we estimate the
+// same quantity by seeded Monte-Carlo placement (deterministic, and the
+// counts agree with exhaustive enumeration on small lattices — see tests).
+#pragma once
+
+#include <cstdint>
+
+namespace bonn {
+
+struct StackedViaModel {
+  int lattice_cols = 16;  ///< normalized region width (vertices per column)
+  int lattice_rows = 16;
+  int footprint = 2;      ///< p: consecutive x-vertices one via blocks
+  int samples = 2000;     ///< Monte-Carlo samples
+  std::uint64_t seed = 7;
+};
+
+/// Expected maximum number of occupied vertices in any lattice column when k
+/// disjoint footprints are placed uniformly at random (capped at the column
+/// height).  Monotone and concave in k — the sublinear behaviour the paper
+/// exploits.
+double expected_column_occupancy(const StackedViaModel& model, int k);
+
+/// Capacity multiplier (0, 1] applied to a layer crossed by ~k stacked vias:
+/// 1 - occupancy / rows.
+double stacked_via_capacity_factor(const StackedViaModel& model, int k);
+
+}  // namespace bonn

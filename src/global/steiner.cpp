@@ -1,0 +1,148 @@
+#include "src/global/steiner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double SteinerOracle::price(const SteinerSolution& sol, int net,
+                            const std::vector<double>& y) const {
+  double total = 0;
+  for (const auto& [e, s] : sol.edges) {
+    model_->for_each_usage(net, e, s, [&](int r, double g) {
+      total += y[static_cast<std::size_t>(r)] * g;
+    });
+  }
+  return total;
+}
+
+SteinerSolution SteinerOracle::solve(std::span<const int> terminals, int net,
+                                     const std::vector<double>& y,
+                                     Workspace& ws) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  SteinerSolution sol;
+  const int V = graph_->num_vertices();
+  if (ws.dist.size() != static_cast<std::size_t>(V)) {
+    ws.dist.assign(static_cast<std::size_t>(V), kInf);
+    ws.parent_edge.assign(static_cast<std::size_t>(V), -1);
+    ws.comp.assign(static_cast<std::size_t>(V), -1);
+  }
+  if (terminals.size() < 2) return sol;
+
+  // K: vertices currently part of the tree; comp labels merge into label 0.
+  std::vector<int> K(terminals.begin(), terminals.end());
+  for (std::size_t i = 0; i < K.size(); ++i) {
+    ws.comp[static_cast<std::size_t>(K[i])] = (i == 0) ? 0 : static_cast<int>(i);
+  }
+  int open_components = static_cast<int>(terminals.size()) - 1;
+
+  // Search box: terminal tile bounding box plus margin, growing on failure.
+  int bx0 = graph_->nx(), bx1 = 0, by0 = graph_->ny(), by1 = 0;
+  for (int t : terminals) {
+    bx0 = std::min(bx0, graph_->tx_of(t));
+    bx1 = std::max(bx1, graph_->tx_of(t));
+    by0 = std::min(by0, graph_->ty_of(t));
+    by1 = std::max(by1, graph_->ty_of(t));
+  }
+  int margin = 2;
+
+  while (open_components > 0) {
+    // Dijkstra from component 0 to any other component.
+    using QE = std::pair<double, int>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    for (int v : K) {
+      if (ws.comp[static_cast<std::size_t>(v)] == 0) {
+        ws.dist[static_cast<std::size_t>(v)] = 0;
+        ws.parent_edge[static_cast<std::size_t>(v)] = -1;
+        ws.touched.push_back(v);
+        pq.push({0.0, v});
+      }
+    }
+    const int xlo = std::max(0, bx0 - margin);
+    const int xhi = std::min(graph_->nx() - 1, bx1 + margin);
+    const int ylo = std::max(0, by0 - margin);
+    const int yhi = std::min(graph_->ny() - 1, by1 + margin);
+
+    int reached = -1;
+    while (!pq.empty()) {
+      const auto [d, v] = pq.top();
+      pq.pop();
+      if (d > ws.dist[static_cast<std::size_t>(v)]) continue;
+      const int cv = ws.comp[static_cast<std::size_t>(v)];
+      if (cv > 0) {
+        reached = v;
+        break;
+      }
+      for (int e : graph_->incident(v)) {
+        const int u = graph_->other_end(e, v);
+        const int tx = graph_->tx_of(u);
+        const int ty = graph_->ty_of(u);
+        if (tx < xlo || tx > xhi || ty < ylo || ty > yhi) continue;
+        const double c = model_->edge_cost(y, net, e).first;
+        if (ws.dist[static_cast<std::size_t>(u)] > d + c) {
+          if (ws.dist[static_cast<std::size_t>(u)] == kInf) {
+            ws.touched.push_back(u);
+          }
+          ws.dist[static_cast<std::size_t>(u)] = d + c;
+          ws.parent_edge[static_cast<std::size_t>(u)] = e;
+          pq.push({d + c, u});
+        }
+      }
+    }
+
+    if (reached < 0) {
+      // Reset and retry with a bigger box; give up only chip-wide.
+      for (int v : ws.touched) {
+        ws.dist[static_cast<std::size_t>(v)] = kInf;
+        ws.parent_edge[static_cast<std::size_t>(v)] = -1;
+      }
+      ws.touched.clear();
+      const bool chip_wide = xlo == 0 && ylo == 0 &&
+                             xhi == graph_->nx() - 1 &&
+                             yhi == graph_->ny() - 1;
+      BONN_CHECK_MSG(!chip_wide, "global graph disconnected for net");
+      margin *= 4;
+      continue;
+    }
+
+    // Extract path, merge components.
+    const int merged = ws.comp[static_cast<std::size_t>(reached)];
+    int v = reached;
+    while (ws.parent_edge[static_cast<std::size_t>(v)] >= 0) {
+      const int e = ws.parent_edge[static_cast<std::size_t>(v)];
+      const auto [cost, s] = model_->edge_cost(y, net, e);
+      sol.edges.push_back({e, static_cast<std::uint8_t>(s)});
+      sol.cost += cost;
+      v = graph_->other_end(e, v);
+      if (ws.comp[static_cast<std::size_t>(v)] == -1) {
+        ws.comp[static_cast<std::size_t>(v)] = 0;
+        K.push_back(v);
+      }
+    }
+    for (int k : K) {
+      if (ws.comp[static_cast<std::size_t>(k)] == merged) {
+        ws.comp[static_cast<std::size_t>(k)] = 0;
+      }
+    }
+    --open_components;
+
+    for (int t : ws.touched) {
+      ws.dist[static_cast<std::size_t>(t)] = kInf;
+      ws.parent_edge[static_cast<std::size_t>(t)] = -1;
+    }
+    ws.touched.clear();
+  }
+
+  for (int k : K) ws.comp[static_cast<std::size_t>(k)] = -1;
+  std::sort(sol.edges.begin(), sol.edges.end());
+  return sol;
+}
+
+}  // namespace bonn

@@ -1,0 +1,56 @@
+// The Steiner oracle: Algorithm 1 (path composition).
+//
+// Implements the block oracle f_n of the resource-sharing formulation
+// (§2.2, Theorem 2.1): given resource prices y, find a Steiner forest for
+// the net's terminals whose priced cost approximates the optimum — by
+// iteratively connecting components with shortest paths (Dijkstra with
+// ℓ1 future cost, restricted to an expanding bounding box).  Guaranteed
+// ratio 2 − 2/|W|; in practice far better (Table II).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/global/resources.hpp"
+
+namespace bonn {
+
+/// A priced solution b ∈ B_n^int: tree edges with extra space assignment.
+struct SteinerSolution {
+  std::vector<std::pair<int, std::uint8_t>> edges;  ///< (edge id, extra space)
+  double cost = 0;  ///< priced cost at computation time
+
+  bool operator==(const SteinerSolution& o) const { return edges == o.edges; }
+};
+
+class SteinerOracle {
+ public:
+  SteinerOracle(const GlobalGraph& graph, const ResourceModel& model)
+      : graph_(&graph), model_(&model) {}
+
+  /// Solve for one net.  `terminals` are deduplicated graph vertex ids.
+  /// Thread-safe: all scratch state lives in the caller-provided workspace.
+  struct Workspace {
+    std::vector<double> dist;
+    std::vector<int> parent_edge;
+    std::vector<int> comp;
+    std::vector<int> touched;
+  };
+
+  SteinerSolution solve(std::span<const int> terminals, int net,
+                        const std::vector<double>& y, Workspace& ws) const;
+
+  /// Re-price an existing solution under current prices (for the oracle
+  /// reuse speed-up of §2.3).
+  double price(const SteinerSolution& sol, int net,
+               const std::vector<double>& y) const;
+
+  std::uint64_t calls() const { return calls_; }
+
+ private:
+  const GlobalGraph* graph_;
+  const ResourceModel* model_;
+  mutable std::atomic<std::uint64_t> calls_{0};
+};
+
+}  // namespace bonn

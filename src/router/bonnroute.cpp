@@ -1,0 +1,179 @@
+#include "src/router/bonnroute.hpp"
+
+#include "src/router/track_assign.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+std::pair<int, int> auto_tiles(const Chip& chip) {
+  const Coord pitch = chip.tech.wiring.front().pitch;
+  const Coord tile = 50 * pitch;
+  const int nx = std::max<int>(2, static_cast<int>(chip.die.width() / tile));
+  const int ny = std::max<int>(2, static_cast<int>(chip.die.height() / tile));
+  return {nx, ny};
+}
+
+namespace {
+
+/// Shared tail: metrics, DRC audit, Table II lengths.
+void finalize_report(const Chip& chip, RoutingSpace& rs, FlowReport& report,
+                     RoutingResult* out) {
+  const RoutingResult result = rs.result();
+  report.netlength = result.total_wirelength();
+  report.vias = result.via_count();
+  report.scenic = count_scenic(chip, result);
+  report.drc = audit_routing(chip, result);
+  report.memory_gb = peak_memory_gb();
+  report.net_lengths.resize(chip.nets.size());
+  for (const Net& n : chip.nets) {
+    report.net_lengths[static_cast<std::size_t>(n.id)] =
+        result.net_wirelength(n.id);
+  }
+  if (out) *out = result;
+}
+
+/// Pre-route nets whose pins all fall into one tile (§2.5 first refinement):
+/// they are invisible to the global model, so they must consume detailed
+/// capacity before edge capacities are counted.
+int preroute_local_nets(const Chip& chip, NetRouter& router,
+                        const NetRouteParams& params, int nx, int ny,
+                        DetailedStats* stats) {
+  const Coord tw = (chip.die.width() + nx - 1) / nx;
+  const Coord th = (chip.die.height() + ny - 1) / ny;
+  int prerouted = 0;
+  for (const Net& n : chip.nets) {
+    bool local = true;
+    std::pair<Coord, Coord> tile{-1, -1};
+    for (int pid : n.pins) {
+      const Point a = chip.pins[static_cast<std::size_t>(pid)].anchor();
+      const std::pair<Coord, Coord> t{(a.x - chip.die.xlo) / tw,
+                                      (a.y - chip.die.ylo) / th};
+      if (tile.first < 0) {
+        tile = t;
+      } else if (!(tile == t)) {
+        local = false;
+        break;
+      }
+    }
+    if (!local) continue;
+    // Route within a slightly larger area than the tile (§2.5).
+    if (router.route_net(n.id, params, stats)) ++prerouted;
+  }
+  return prerouted;
+}
+
+}  // namespace
+
+FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
+                              RoutingResult* out) {
+  Timer total;
+  FlowReport report;
+  auto [nx, ny] = params.tiles_x > 0
+                      ? std::pair<int, int>{params.tiles_x, params.tiles_y}
+                      : auto_tiles(chip);
+
+  RoutingSpace rs(chip);
+  NetRouter router(rs);
+
+  // §4.3 preprocessing first: access reservations consume routing space and
+  // must be visible to the §2.5 capacity estimation.
+  router.precompute_access(params.detailed);
+  report.preroute_nets =
+      preroute_local_nets(chip, router, params.detailed, nx, ny,
+                          &report.detailed);
+
+  // Global routing on capacities that already reflect the pre-routes.
+  GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
+  std::vector<SteinerSolution> routes = gr.route(params.global, &report.global);
+
+  router.set_global(&gr, &routes);
+  // Wire spreading (§4.2): tiles the global router filled beyond 70 % get a
+  // keep-free cost so the detailed router spreads into emptier regions.
+  {
+    const GlobalGraph& g = gr.graph();
+    std::vector<double> usage(static_cast<std::size_t>(g.num_edges()), 0.0);
+    for (const Net& n : chip.nets) {
+      const double w = chip.tech.wt(n.wiretype).track_usage;
+      for (const auto& [e, s] : routes[static_cast<std::size_t>(n.id)].edges) {
+        usage[static_cast<std::size_t>(e)] += w + s;
+      }
+    }
+    std::vector<std::pair<Rect, Coord>> zones;
+    for (int e = 0; e < g.num_edges(); ++e) {
+      const GlobalEdge& ge = g.edge(e);
+      if (ge.via) continue;
+      const double util =
+          usage[static_cast<std::size_t>(e)] / std::max(ge.capacity, 0.25);
+      // Only near-overflow tiles get a keep-free cost, and a mild one —
+      // spreading must nudge wires into empty space, not force detours.
+      if (util > 0.9) {
+        const Rect zone = g.tile_rect(g.tx_of(ge.u), g.ty_of(ge.u))
+                              .hull(g.tile_rect(g.tx_of(ge.v), g.ty_of(ge.v)));
+        zones.push_back({zone, static_cast<Coord>(100 * (util - 0.9))});
+      }
+    }
+    router.set_spread_zones(std::move(zones));
+  }
+  router.route_all(params.detailed, &report.detailed);
+  report.br_seconds = total.seconds();
+
+  if (params.run_cleanup) {
+    DrcCleanup cleanup(router);
+    CleanupParams cp = params.cleanup;
+    cp.reroute = params.detailed;
+    report.cleanup = cleanup.run(cp);
+    report.cleanup_seconds = report.cleanup.seconds;
+  }
+  report.total_seconds = total.seconds();
+  finalize_report(chip, rs, report, out);
+  return report;
+}
+
+FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
+                        RoutingResult* out) {
+  Timer total;
+  FlowReport report;
+  auto [nx, ny] = params.tiles_x > 0
+                      ? std::pair<int, int>{params.tiles_x, params.tiles_y}
+                      : auto_tiles(chip);
+
+  RoutingSpace rs(chip);
+  NetRouter router(rs);
+
+  // ISR global: negotiated 2D + layer assignment on the same capacities.
+  GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
+  IsrGlobalRouter isr(chip, gr);
+  std::vector<SteinerSolution> routes =
+      isr.route(params.isr_global, &report.isr_global);
+
+  // ISR track assignment: long-distance trunks on tracks, no DRC checking
+  // (§1.2/§5.3); the gridless maze then closes pin-to-trunk connections.
+  assign_tracks(rs, gr, routes);
+
+  // ISR detailed: per-vertex gridless maze, greedy pin access.
+  NetRouteParams dp = params.detailed;
+  dp.vertex_search = true;
+  dp.greedy_access = true;
+  dp.use_pi_p = false;
+  dp.layer_corridor = false;  // "purely gridless fashion"
+  router.set_global(&gr, &routes);
+  router.route_all(dp, &report.detailed);
+  report.br_seconds = total.seconds();
+
+  if (params.run_cleanup) {
+    DrcCleanup cleanup(router);
+    CleanupParams cp = params.cleanup;
+    cp.reroute = dp;
+    report.cleanup = cleanup.run(cp);
+    report.cleanup_seconds = report.cleanup.seconds;
+  }
+  report.total_seconds = total.seconds();
+  finalize_report(chip, rs, report, out);
+  return report;
+}
+
+}  // namespace bonn

@@ -1,0 +1,60 @@
+// The two end-to-end flows of the paper's evaluation (§5.3):
+//
+//   BonnRoute flow ("BR+ISR"): pre-route single-tile nets (the §2.5 capacity
+//   refinement), resource-sharing global routing, interval-search detailed
+//   routing with conflict-free pin access, then the external DRC cleanup.
+//
+//   ISR flow ("ISR"): negotiation-based 2D global routing + layer
+//   assignment, per-vertex gridless maze detailed routing with greedy pin
+//   access, then the same DRC cleanup.
+//
+// Both flows share the chip, the capacity model and the metrics code, so the
+// Table I/III comparisons isolate the algorithmic differences.
+#pragma once
+
+#include "src/detailed/net_router.hpp"
+#include "src/router/drc_cleanup.hpp"
+#include "src/router/isr_global.hpp"
+#include "src/router/metrics.hpp"
+
+namespace bonn {
+
+struct FlowParams {
+  int tiles_x = 0;  ///< 0 = auto (≈50 tracks per tile, §2.1)
+  int tiles_y = 0;
+  GlobalRouterParams global;
+  IsrGlobalParams isr_global;
+  NetRouteParams detailed;
+  CleanupParams cleanup;
+  bool run_cleanup = true;
+};
+
+struct FlowReport {
+  double total_seconds = 0;
+  double br_seconds = 0;       ///< Table I "BR" column (before cleanup)
+  double cleanup_seconds = 0;
+  double memory_gb = 0;
+  GlobalRoutingStats global;       ///< BonnRoute flow only
+  IsrGlobalStats isr_global;       ///< ISR flow only
+  DetailedStats detailed;
+  CleanupStats cleanup;
+  DrcReport drc;
+  Coord netlength = 0;
+  std::int64_t vias = 0;
+  ScenicStats scenic;
+  int preroute_nets = 0;
+  std::vector<Coord> net_lengths;  ///< per net, for Table II
+};
+
+/// Auto tile count for a chip (≈ 50 tracks of the bottom layer per tile).
+std::pair<int, int> auto_tiles(const Chip& chip);
+
+/// Run the BonnRoute flow; fills `out` with the final routing.
+FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
+                              RoutingResult* out = nullptr);
+
+/// Run the ISR baseline flow.
+FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
+                        RoutingResult* out = nullptr);
+
+}  // namespace bonn

@@ -1,0 +1,107 @@
+#include "src/router/drc_cleanup.hpp"
+
+#include <algorithm>
+
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+std::vector<int> DrcCleanup::offending_nets() const {
+  // Judge *drawn* metal (no pessimistic line-end extensions): the cleanup
+  // pass plays the signoff tool, not the router's conservative model.
+  RoutingSpace& rs = router_->space();
+  const Chip& chip = rs.chip();
+  ShapeGrid drawn(chip.tech, chip.die);
+  for (const Shape& s : chip.fixed_shapes()) drawn.insert(s, kFixed);
+  std::vector<std::vector<Shape>> per_net(chip.nets.size());
+  for (const Net& n : chip.nets) {
+    auto& shapes = per_net[static_cast<std::size_t>(n.id)];
+    for (const RoutedPath& p : rs.paths(n.id)) {
+      const auto ps = expand_path_drawn(p, chip.tech);
+      shapes.insert(shapes.end(), ps.begin(), ps.end());
+    }
+    for (const Shape& s : shapes) drawn.insert(s, kStandard);
+  }
+  DrcChecker checker(chip.tech, drawn);
+  std::vector<int> out;
+  for (const Net& n : chip.nets) {
+    for (const Shape& s : per_net[static_cast<std::size_t>(n.id)]) {
+      if (!checker.check_shape(s).allowed) {
+        out.push_back(n.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int DrcCleanup::extend_short_segments() {
+  RoutingSpace& rs = router_->space();
+  const Chip& chip = rs.chip();
+  int extended = 0;
+  for (const Net& n : chip.nets) {
+    // Work on a copy of the path list; we mutate via remove/commit.
+    const std::size_t count = rs.paths(n.id).size();
+    for (std::size_t pi = 0; pi < count; ++pi) {
+      if (pi >= rs.paths(n.id).size()) break;
+      RoutedPath p = rs.paths(n.id)[pi];
+      bool changed = false;
+      for (WireStick& w : p.wires) {
+        const Coord tau =
+            chip.tech.wiring[static_cast<std::size_t>(w.layer)].min_seg_len;
+        if (w.length() == 0 || w.length() >= tau) continue;
+        WireStick ext = w;
+        const Coord need = tau - w.length();
+        if (ext.horizontal()) {
+          ext.a.x -= (need + 1) / 2;
+          ext.b.x += (need + 1) / 2;
+        } else {
+          ext.a.y -= (need + 1) / 2;
+          ext.b.y += (need + 1) / 2;
+        }
+        if (rs.checker().check_wire(ext, n.id, p.wiretype).allowed) {
+          w = ext;
+          changed = true;
+          ++extended;
+        }
+      }
+      if (changed) {
+        rs.remove_recorded(n.id, pi);
+        rs.commit_path(p);
+        // The changed path moved to the end of the list; adjust indices by
+        // simply continuing (count stays an upper bound).
+      }
+    }
+  }
+  return extended;
+}
+
+CleanupStats DrcCleanup::run(const CleanupParams& params) {
+  Timer timer;
+  CleanupStats stats;
+  RoutingSpace& rs = router_->space();
+
+  for (int pass = 0; pass < params.passes; ++pass) {
+    const auto offenders = offending_nets();
+    if (offenders.empty()) break;
+    for (int net : offenders) {
+      if (stats.nets_rerouted >= params.max_reroutes) break;
+      router_->rip_net_tracked(net);
+      NetRouteParams rp = params.reroute;
+      rp.search.allowed_ripup = kStandard;
+      // A cleanup reroute must never convert a routed net into an open —
+      // commit even when some violation remains (it was violating before).
+      rp.commit_despite_violations = true;
+      router_->route_net(net, rp, nullptr, /*rip_depth=*/1);
+      ++stats.nets_rerouted;
+    }
+  }
+  stats.segments_extended = extend_short_segments();
+  // Minimum-area re-patching after all the local surgery.
+  for (const Net& n : rs.chip().nets) router_->postprocess_net(n.id);
+
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace bonn

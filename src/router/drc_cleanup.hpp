@@ -1,0 +1,43 @@
+// DRC cleanup pass (§5.2).
+//
+// BonnRoute's philosophy is near-optimum packing with DRC cleanup left to an
+// external tool; this module plays that external tool's role for both flows:
+// it finds nets with remaining diff-net violations and locally reroutes
+// them (with ripup), extends sub-τ segments, and re-applies minimum-area
+// patches.  Only local changes are made — and, as the paper observes, the
+// cleanup can still take longer than BonnRoute itself.
+#pragma once
+
+#include "src/detailed/net_router.hpp"
+#include "src/drc/audit.hpp"
+
+namespace bonn {
+
+struct CleanupParams {
+  int max_reroutes = 500;
+  int passes = 2;
+  NetRouteParams reroute;  ///< search parameters for the local reroutes
+};
+
+struct CleanupStats {
+  double seconds = 0;
+  int nets_rerouted = 0;
+  int segments_extended = 0;
+};
+
+class DrcCleanup {
+ public:
+  explicit DrcCleanup(NetRouter& router) : router_(&router) {}
+
+  CleanupStats run(const CleanupParams& params);
+
+ private:
+  /// Nets that currently have a diff-net violation on one of their shapes.
+  std::vector<int> offending_nets() const;
+  /// Extend wire sticks shorter than τ where legal.
+  int extend_short_segments();
+
+  NetRouter* router_;
+};
+
+}  // namespace bonn

@@ -1,0 +1,358 @@
+#include "src/router/isr_global.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Planar (2D) tile grid with negotiation state.
+struct Grid2D {
+  int nx, ny;
+  // Edge ids: horizontal edges first (tx in [0,nx-2]), then vertical.
+  std::vector<double> cap, usage, hist;
+  std::vector<Coord> len;
+
+  int h_edge(int tx, int ty) const { return ty * (nx - 1) + tx; }
+  int v_edge(int tx, int ty) const {
+    return (nx - 1) * ny + ty * nx + tx;
+  }
+  int num_edges() const { return (nx - 1) * ny + nx * (ny - 1); }
+};
+
+struct TwoDRoute {
+  std::vector<int> edges;  ///< 2D edge ids
+};
+
+}  // namespace
+
+std::vector<SteinerSolution> IsrGlobalRouter::route(
+    const IsrGlobalParams& params, IsrGlobalStats* stats) {
+  Timer timer;
+  const GlobalGraph& g = gr_->graph();
+  const int nx = g.nx(), ny = g.ny();
+
+  // ---- project 3D capacities onto the 2D grid.
+  Grid2D g2{nx, ny, {}, {}, {}, {}};
+  g2.cap.assign(static_cast<std::size_t>(g2.num_edges()), 0.0);
+  g2.usage.assign(g2.cap.size(), 0.0);
+  g2.hist.assign(g2.cap.size(), 0.0);
+  g2.len.assign(g2.cap.size(), 0);
+  // 3D planar edge id lookup by (min vertex, max vertex).
+  std::map<std::pair<int, int>, int> edge3d;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const GlobalEdge& ge = g.edge(e);
+    edge3d[{std::min(ge.u, ge.v), std::max(ge.u, ge.v)}] = e;
+    if (ge.via) continue;
+    const int tx = g.tx_of(ge.u), ty = g.ty_of(ge.u);
+    const bool horiz = g.tx_of(ge.v) != tx;
+    const int id = horiz ? g2.h_edge(tx, ty) : g2.v_edge(tx, ty);
+    g2.cap[static_cast<std::size_t>(id)] += ge.capacity;
+    g2.len[static_cast<std::size_t>(id)] = ge.length;
+  }
+
+  auto edge_cost = [&](int e, double w) {
+    const double cap = std::max(g2.cap[static_cast<std::size_t>(e)], 0.25);
+    const double u = g2.usage[static_cast<std::size_t>(e)];
+    double slope;
+    if (u + w > cap) {
+      slope = params.congestion_weight * (u + w - cap);
+    } else {
+      slope = 0.5 * u / cap;
+    }
+    return static_cast<double>(g2.len[static_cast<std::size_t>(e)]) *
+           (1.0 + g2.hist[static_cast<std::size_t>(e)] + slope);
+  };
+
+  // ---- per-net planar terminals.
+  const int N = chip_->num_nets();
+  std::vector<std::vector<int>> terms2d(static_cast<std::size_t>(N));
+  for (int n = 0; n < N; ++n) {
+    std::vector<int> t;
+    for (int v : gr_->net_vertices(n)) {
+      t.push_back(g.ty_of(v) * nx + g.tx_of(v));
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    terms2d[static_cast<std::size_t>(n)] = std::move(t);
+  }
+
+  // ---- sequential Steiner on the 2D grid (path composition).
+  const double kInfD = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(nx * ny), kInfD);
+  std::vector<int> parent(static_cast<std::size_t>(nx * ny), -1);
+  std::vector<int> comp(static_cast<std::size_t>(nx * ny), -1);
+  std::vector<int> touched;
+
+  auto neighbours = [&](int v, auto fn) {
+    const int tx = v % nx, ty = v / nx;
+    if (tx + 1 < nx) fn(v + 1, g2.h_edge(tx, ty));
+    if (tx > 0) fn(v - 1, g2.h_edge(tx - 1, ty));
+    if (ty + 1 < ny) fn(v + nx, g2.v_edge(tx, ty));
+    if (ty > 0) fn(v - nx, g2.v_edge(tx, ty - 1));
+  };
+
+  auto route_net_2d = [&](int n, double w) {
+    TwoDRoute route;
+    const auto& terms = terms2d[static_cast<std::size_t>(n)];
+    if (terms.size() < 2) return route;
+    std::vector<int> K(terms.begin(), terms.end());
+    for (std::size_t i = 0; i < K.size(); ++i) {
+      comp[static_cast<std::size_t>(K[i])] = static_cast<int>(i);
+    }
+    int open = static_cast<int>(terms.size()) - 1;
+    while (open > 0) {
+      using QE = std::pair<double, int>;
+      std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+      for (int v : K) {
+        if (comp[static_cast<std::size_t>(v)] == 0) {
+          dist[static_cast<std::size_t>(v)] = 0;
+          touched.push_back(v);
+          pq.push({0.0, v});
+        }
+      }
+      int reached = -1;
+      while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d > dist[static_cast<std::size_t>(v)]) continue;
+        if (comp[static_cast<std::size_t>(v)] > 0) {
+          reached = v;
+          break;
+        }
+        neighbours(v, [&](int u, int e) {
+          const double nd = d + edge_cost(e, w);
+          if (nd < dist[static_cast<std::size_t>(u)]) {
+            if (dist[static_cast<std::size_t>(u)] == kInfD) touched.push_back(u);
+            dist[static_cast<std::size_t>(u)] = nd;
+            parent[static_cast<std::size_t>(u)] = e;
+            pq.push({nd, u});
+          }
+        });
+      }
+      BONN_CHECK_MSG(reached >= 0, "2D grid disconnected");
+      const int merged = comp[static_cast<std::size_t>(reached)];
+      int v = reached;
+      while (parent[static_cast<std::size_t>(v)] >= 0) {
+        const int e = parent[static_cast<std::size_t>(v)];
+        route.edges.push_back(e);
+        // step back across e
+        const int tx = v % nx, ty = v / nx;
+        int u;
+        if (e < (nx - 1) * ny) {
+          const int etx = e % (nx - 1), ety = e / (nx - 1);
+          u = (etx == tx) ? ety * nx + tx + 1 : ety * nx + etx;
+          (void)ty;
+        } else {
+          const int e2 = e - (nx - 1) * ny;
+          const int etx = e2 % nx, ety = e2 / nx;
+          u = (ety == ty) ? (ety + 1) * nx + etx : ety * nx + etx;
+        }
+        v = u;
+        if (comp[static_cast<std::size_t>(v)] == -1) {
+          comp[static_cast<std::size_t>(v)] = 0;
+          K.push_back(v);
+        }
+      }
+      for (int k : K) {
+        if (comp[static_cast<std::size_t>(k)] == merged) {
+          comp[static_cast<std::size_t>(k)] = 0;
+        }
+      }
+      --open;
+      for (int t : touched) {
+        dist[static_cast<std::size_t>(t)] = kInfD;
+        parent[static_cast<std::size_t>(t)] = -1;
+      }
+      touched.clear();
+    }
+    for (int k : K) comp[static_cast<std::size_t>(k)] = -1;
+    std::sort(route.edges.begin(), route.edges.end());
+    route.edges.erase(std::unique(route.edges.begin(), route.edges.end()),
+                      route.edges.end());
+    return route;
+  };
+
+  std::vector<TwoDRoute> routes(static_cast<std::size_t>(N));
+  std::vector<double> widths(static_cast<std::size_t>(N));
+  for (int n = 0; n < N; ++n) {
+    widths[static_cast<std::size_t>(n)] =
+        chip_->tech.wt(chip_->nets[static_cast<std::size_t>(n)].wiretype)
+            .track_usage;
+    routes[static_cast<std::size_t>(n)] =
+        route_net_2d(n, widths[static_cast<std::size_t>(n)]);
+    for (int e : routes[static_cast<std::size_t>(n)].edges) {
+      g2.usage[static_cast<std::size_t>(e)] += widths[static_cast<std::size_t>(n)];
+    }
+  }
+
+  // ---- negotiation rounds.
+  int reroutes = 0;
+  for (int round = 0; round < params.negotiation_rounds; ++round) {
+    std::vector<char> over(g2.cap.size(), 0);
+    bool any = false;
+    for (std::size_t e = 0; e < g2.cap.size(); ++e) {
+      if (g2.usage[e] > g2.cap[e] + 1e-9) {
+        over[e] = 1;
+        g2.hist[e] += params.history_increment;
+        any = true;
+      }
+    }
+    if (!any) break;
+    for (int n = 0; n < N; ++n) {
+      auto& r = routes[static_cast<std::size_t>(n)];
+      bool hit = false;
+      for (int e : r.edges) {
+        if (over[static_cast<std::size_t>(e)]) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      const double w = widths[static_cast<std::size_t>(n)];
+      for (int e : r.edges) g2.usage[static_cast<std::size_t>(e)] -= w;
+      r = route_net_2d(n, w);
+      for (int e : r.edges) g2.usage[static_cast<std::size_t>(e)] += w;
+      ++reroutes;
+    }
+  }
+
+  // ---- greedy layer assignment (segments to matching-direction layers).
+  std::vector<double> usage3d(static_cast<std::size_t>(g.num_edges()), 0.0);
+  std::vector<SteinerSolution> out(static_cast<std::size_t>(N));
+  const int L = g.layers();
+
+  for (int n = 0; n < N; ++n) {
+    const auto& r = routes[static_cast<std::size_t>(n)];
+    if (r.edges.empty()) continue;
+    SteinerSolution sol;
+    // Layer span needed at each tile (for via insertion).
+    std::map<int, std::pair<int, int>> tile_span;  // tile -> [lmin, lmax]
+    auto note_layer = [&](int tile, int l) {
+      auto it = tile_span.find(tile);
+      if (it == tile_span.end()) {
+        tile_span[tile] = {l, l};
+      } else {
+        it->second.first = std::min(it->second.first, l);
+        it->second.second = std::max(it->second.second, l);
+      }
+    };
+    // Group the 2D edges into maximal straight segments per row/column.
+    std::map<int, std::vector<int>> rows, cols;  // ty -> tx list / tx -> ty
+    for (int e : r.edges) {
+      if (e < (nx - 1) * ny) {
+        rows[e / (nx - 1)].push_back(e % (nx - 1));
+      } else {
+        const int e2 = e - (nx - 1) * ny;
+        cols[e2 % nx].push_back(e2 / nx);
+      }
+    }
+    auto assign_segments = [&](bool horiz, int fixed,
+                               std::vector<int>& positions) {
+      std::sort(positions.begin(), positions.end());
+      std::size_t i = 0;
+      while (i < positions.size()) {
+        std::size_t j = i;
+        while (j + 1 < positions.size() &&
+               positions[j + 1] == positions[j] + 1) {
+          ++j;
+        }
+        // Segment spans positions[i..j]; pick the best matching layer.
+        int best_l = -1;
+        double best_util = std::numeric_limits<double>::infinity();
+        for (int l = 0; l < L; ++l) {
+          const bool lh = chip_->tech.pref(l) == Dir::kHorizontal;
+          if (lh != horiz) continue;
+          double util = 0;
+          for (std::size_t k = i; k <= j; ++k) {
+            const int u = horiz ? g.vertex(positions[k], fixed, l)
+                                : g.vertex(fixed, positions[k], l);
+            const int v = horiz ? g.vertex(positions[k] + 1, fixed, l)
+                                : g.vertex(fixed, positions[k] + 1, l);
+            const auto it = edge3d.find({std::min(u, v), std::max(u, v)});
+            BONN_CHECK(it != edge3d.end());
+            const GlobalEdge& ge = g.edge(it->second);
+            util = std::max(util, (usage3d[static_cast<std::size_t>(
+                                       it->second)] +
+                                   1.0) /
+                                      std::max(ge.capacity, 0.25));
+          }
+          // Prefer the lowest non-overflowing layer (classical greedy).
+          if (util < 1.0) {
+            best_l = l;
+            break;
+          }
+          if (util < best_util) {
+            best_util = util;
+            best_l = l;
+          }
+        }
+        BONN_CHECK(best_l >= 0);
+        for (std::size_t k = i; k <= j; ++k) {
+          const int u = horiz ? g.vertex(positions[k], fixed, best_l)
+                              : g.vertex(fixed, positions[k], best_l);
+          const int v = horiz ? g.vertex(positions[k] + 1, fixed, best_l)
+                              : g.vertex(fixed, positions[k] + 1, best_l);
+          const int e3 = edge3d.at({std::min(u, v), std::max(u, v)});
+          usage3d[static_cast<std::size_t>(e3)] += 1.0;
+          sol.edges.push_back({e3, 0});
+          note_layer(horiz ? fixed * nx + positions[k] : positions[k] * nx + fixed,
+                     best_l);
+          note_layer(horiz ? fixed * nx + positions[k] + 1
+                           : (positions[k] + 1) * nx + fixed,
+                     best_l);
+        }
+        i = j + 1;
+      }
+    };
+    for (auto& [ty, txs] : rows) assign_segments(true, ty, txs);
+    for (auto& [tx, tys] : cols) assign_segments(false, tx, tys);
+
+    // Pins extend the layer span of their tiles.
+    for (int v : gr_->net_vertices(n)) {
+      note_layer(g.ty_of(v) * nx + g.tx_of(v), g.layer_of(v));
+    }
+    // Via edges along the spans.
+    for (const auto& [tile, span] : tile_span) {
+      const int tx = tile % nx, ty = tile / nx;
+      for (int l = span.first; l < span.second; ++l) {
+        const int u = g.vertex(tx, ty, l);
+        const int v = g.vertex(tx, ty, l + 1);
+        const auto it = edge3d.find({std::min(u, v), std::max(u, v)});
+        if (it != edge3d.end()) sol.edges.push_back({it->second, 0});
+      }
+    }
+    std::sort(sol.edges.begin(), sol.edges.end());
+    sol.edges.erase(std::unique(sol.edges.begin(), sol.edges.end()),
+                    sol.edges.end());
+    out[static_cast<std::size_t>(n)] = std::move(sol);
+  }
+
+  if (stats) {
+    stats->seconds = timer.seconds();
+    stats->reroutes = reroutes;
+    for (std::size_t e = 0; e < g2.cap.size(); ++e) {
+      if (g2.usage[e] > g2.cap[e] + 1e-9) ++stats->overflowed_edges;
+    }
+    for (const SteinerSolution& sol : out) {
+      for (const auto& [e, s] : sol.edges) {
+        (void)s;
+        const GlobalEdge& ge = g.edge(e);
+        if (ge.via) {
+          ++stats->via_count;
+        } else {
+          stats->netlength += ge.length;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bonn

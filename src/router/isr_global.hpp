@@ -1,0 +1,45 @@
+// ISR-like baseline global router.
+//
+// Models the "industry standard router" of §5.3's comparison: a classical
+// negotiation-based (history-cost) 2D global router followed by greedy layer
+// assignment — the architecture the paper contrasts with BonnRoute's
+// three-dimensional resource-sharing approach ("Two-dimensional global
+// routers are usually followed by layer assignment", §1.2).  Output uses the
+// same GlobalGraph/SteinerSolution representation so the detailed router and
+// the Table III harness can consume either router interchangeably.
+#pragma once
+
+#include "src/global/global_router.hpp"
+
+namespace bonn {
+
+struct IsrGlobalParams {
+  int negotiation_rounds = 8;
+  double congestion_weight = 4.0;  ///< penalty ramp on full edges
+  double history_increment = 1.0;
+};
+
+struct IsrGlobalStats {
+  double seconds = 0;
+  Coord netlength = 0;
+  std::int64_t via_count = 0;
+  int overflowed_edges = 0;
+  int reroutes = 0;
+};
+
+class IsrGlobalRouter {
+ public:
+  /// Shares the GlobalGraph (and thus §2.5 capacities) with BonnRoute so the
+  /// comparison isolates the algorithms, not the capacity model.
+  IsrGlobalRouter(const Chip& chip, const GlobalRouter& gr)
+      : chip_(&chip), gr_(&gr) {}
+
+  std::vector<SteinerSolution> route(const IsrGlobalParams& params,
+                                     IsrGlobalStats* stats = nullptr);
+
+ private:
+  const Chip* chip_;
+  const GlobalRouter* gr_;
+};
+
+}  // namespace bonn

@@ -1,0 +1,63 @@
+#include "src/router/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/geom/rsmt.hpp"
+
+namespace bonn {
+
+ScenicStats count_scenic(const Chip& chip, const RoutingResult& result,
+                         Coord length_floor) {
+  ScenicStats s;
+  for (const Net& n : chip.nets) {
+    const Coord routed = result.net_wirelength(n.id);
+    if (routed < length_floor) continue;
+    const Coord steiner = rsmt_length(chip.net_terminals(n.id));
+    if (steiner <= 0) continue;
+    const double detour = static_cast<double>(routed) / steiner;
+    if (detour >= 1.25) ++s.over_25;
+    if (detour >= 1.50) ++s.over_50;
+  }
+  return s;
+}
+
+double peak_memory_gb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream is(line.substr(6));
+      double kb = 0;
+      is >> kb;
+      return kb / (1024.0 * 1024.0);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<TerminalClassRow> terminal_class_table(
+    const Chip& chip, const std::vector<Coord>& net_lengths) {
+  std::vector<TerminalClassRow> rows = {
+      {"2 terminals"}, {"3 terminals"},   {"4 terminals"},
+      {"5-10 terminals"}, {"11-20 terminals"}, {">20 terminals"},
+  };
+  auto row_of = [](int deg) {
+    if (deg <= 2) return 0;
+    if (deg == 3) return 1;
+    if (deg == 4) return 2;
+    if (deg <= 10) return 3;
+    if (deg <= 20) return 4;
+    return 5;
+  };
+  for (const Net& n : chip.nets) {
+    TerminalClassRow& r = rows[static_cast<std::size_t>(row_of(n.degree()))];
+    r.routed += net_lengths[static_cast<std::size_t>(n.id)];
+    r.steiner += rsmt_length(chip.net_terminals(n.id));
+    ++r.nets;
+  }
+  return rows;
+}
+
+}  // namespace bonn

@@ -1,0 +1,39 @@
+// Routing quality metrics — the columns of Table I.
+//
+// Netlength, via count, scenic nets (detour >= 25 % / 50 % over the Steiner
+// length for nets above a length floor) and peak memory.  The paper's length
+// floor is 100 µm on full-size chips; our synthetic chips are ~100x smaller,
+// so the floor scales to 5 µm (see EXPERIMENTS.md).
+#pragma once
+
+#include "src/db/chip.hpp"
+
+namespace bonn {
+
+struct ScenicStats {
+  int over_25 = 0;
+  int over_50 = 0;
+};
+
+/// Scenic-net counts per the paper's definition, with `length_floor` in dbu.
+ScenicStats count_scenic(const Chip& chip, const RoutingResult& result,
+                         Coord length_floor = 5000);
+
+/// Peak resident memory of this process in GB (VmHWM), Linux only.
+double peak_memory_gb();
+
+/// Per-terminal-class netlength table (Table II): classes 2, 3, 4, 5-10,
+/// 11-20, >20 terminals; sums of routed length and of Steiner length.
+struct TerminalClassRow {
+  const char* label;
+  std::int64_t routed = 0;   ///< dbu
+  std::int64_t steiner = 0;  ///< dbu
+  int nets = 0;
+  double ratio() const {
+    return steiner > 0 ? static_cast<double>(routed) / steiner : 0.0;
+  }
+};
+std::vector<TerminalClassRow> terminal_class_table(
+    const Chip& chip, const std::vector<Coord>& net_lengths);
+
+}  // namespace bonn

@@ -1,0 +1,133 @@
+#include "src/router/track_assign.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// A maximal straight run of a net's global route on one layer.
+struct Trunk {
+  int net = -1;
+  int layer = -1;
+  Coord cross_lo = 0, cross_hi = 0;  ///< panel band (tile extent across)
+  Interval along;                    ///< planar extent along the layer dir
+  Coord length() const { return along.length(); }
+};
+
+}  // namespace
+
+TrackAssignStats assign_tracks(RoutingSpace& rs, const GlobalRouter& gr,
+                               const std::vector<SteinerSolution>& routes,
+                               const TrackAssignParams& params) {
+  TrackAssignStats stats;
+  const GlobalGraph& g = gr.graph();
+  const Chip& chip = rs.chip();
+  const TrackGraph& tg = rs.tg();
+
+  // ---- extract maximal straight segments per net and layer.
+  std::vector<Trunk> trunks;
+  for (int net = 0; net < static_cast<int>(routes.size()); ++net) {
+    // Group planar edges by layer and row/column.
+    std::map<std::pair<int, int>, std::vector<int>> lines;  // (layer,row)->pos
+    for (const auto& [e, s] : routes[static_cast<std::size_t>(net)].edges) {
+      (void)s;
+      const GlobalEdge& ge = g.edge(e);
+      if (ge.via) continue;
+      const bool horiz = chip.tech.pref(ge.layer) == Dir::kHorizontal;
+      const int row = horiz ? g.ty_of(ge.u) : g.tx_of(ge.u);
+      const int pos = horiz ? g.tx_of(ge.u) : g.ty_of(ge.u);
+      lines[{ge.layer * 10000 + row, horiz}].push_back(pos);
+    }
+    for (auto& [key, positions] : lines) {
+      const int layer = key.first / 10000;
+      const int row = key.first % 10000;
+      const bool horiz = key.second != 0;
+      std::sort(positions.begin(), positions.end());
+      std::size_t i = 0;
+      while (i < positions.size()) {
+        std::size_t j = i;
+        while (j + 1 < positions.size() &&
+               positions[j + 1] == positions[j] + 1) {
+          ++j;
+        }
+        const int tiles = static_cast<int>(j - i) + 1;
+        if (tiles >= params.min_trunk_len) {
+          const Rect r0 = horiz ? g.tile_rect(positions[i], row)
+                                : g.tile_rect(row, positions[i]);
+          const Rect r1 = horiz ? g.tile_rect(positions[j] + 1, row)
+                                : g.tile_rect(row, positions[j] + 1);
+          Trunk t;
+          t.net = net;
+          t.layer = layer;
+          const Rect band = r0.hull(r1);
+          t.cross_lo = horiz ? band.ylo : band.xlo;
+          t.cross_hi = horiz ? band.yhi : band.xhi;
+          // Span from the first tile centre to the last tile centre.
+          t.along = horiz ? Interval{r0.center().x, r1.center().x}
+                          : Interval{r0.center().y, r1.center().y};
+          trunks.push_back(t);
+        }
+        i = j + 1;
+      }
+    }
+  }
+
+  // ---- pack trunks onto tracks, longest first (classical ordering).
+  std::sort(trunks.begin(), trunks.end(),
+            [](const Trunk& a, const Trunk& b) { return a.length() > b.length(); });
+  // Occupancy per (layer, track index): true = taken on [lo, hi).
+  std::map<std::pair<int, int>, IntervalMap<char>> occupancy;
+
+  for (const Trunk& t : trunks) {
+    const auto [tlo, thi] =
+        tg.track_range(t.layer, {t.cross_lo, t.cross_hi});
+    bool placed = false;
+    for (int ti = tlo; ti <= thi && !placed; ++ti) {
+      auto& occ = occupancy.try_emplace({t.layer, ti}, IntervalMap<char>(0))
+                      .first->second;
+      bool free = true;
+      occ.for_each(t.along.lo, t.along.hi + 1,
+                   [&](Coord, Coord, const char& v) { free &= v == 0; });
+      if (!free) continue;
+      // Trunks may violate rules against movable wiring ("often not
+      // satisfying all design rules"), but a trunk over pins or fixed
+      // blockages would strand the pins it covers — skip those tracks.
+      {
+        const Coord tc0 = tg.tracks(t.layer)[static_cast<std::size_t>(ti)];
+        const bool h0 = chip.tech.pref(t.layer) == Dir::kHorizontal;
+        WireStick probe;
+        probe.layer = t.layer;
+        probe.a = h0 ? Point{t.along.lo, tc0} : Point{tc0, t.along.lo};
+        probe.b = h0 ? Point{t.along.hi, tc0} : Point{tc0, t.along.hi};
+        const auto pc = rs.checker().check_wire(probe, t.net, 0);
+        if (!pc.allowed && pc.min_blocker_ripup == kFixed) continue;
+      }
+      occ.assign(t.along.lo, t.along.hi + 1, 1);
+      // Commit the trunk as real wiring of the net — deliberately without
+      // DRC checking (track assignment "often not satisfying all design
+      // rules"); the cleanup pass repairs the remainder.
+      const Coord tc = tg.tracks(t.layer)[static_cast<std::size_t>(ti)];
+      const bool horiz = chip.tech.pref(t.layer) == Dir::kHorizontal;
+      RoutedPath path;
+      path.net = t.net;
+      path.wiretype = chip.nets[static_cast<std::size_t>(t.net)].wiretype;
+      WireStick w;
+      w.layer = t.layer;
+      w.a = horiz ? Point{t.along.lo, tc} : Point{tc, t.along.lo};
+      w.b = horiz ? Point{t.along.hi, tc} : Point{tc, t.along.hi};
+      path.wires.push_back(w);
+      rs.commit_path(path);
+      ++stats.trunks_assigned;
+      stats.assigned_length += t.length();
+      placed = true;
+    }
+    if (!placed) ++stats.trunks_dropped;
+  }
+  return stats;
+}
+
+}  // namespace bonn

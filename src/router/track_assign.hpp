@@ -1,0 +1,39 @@
+// Track assignment — the intermediate step between global and detailed
+// routing that the paper's ISR baseline uses (§1.2: "This computes an
+// ordering of the nets within each global routing channel and a layout of at
+// least the long-distance nets, often not satisfying all design rules";
+// §5.3: ISR "uses a track assignment step to cover long distances and then
+// completes the routing in purely gridless fashion").  BonnRoute itself has
+// no such step — that asymmetry is part of what Table I measures.
+//
+// Implementation: per (layer, panel) the long straight segments of the
+// global routes are packed onto tracks first-fit in decreasing length order,
+// using interval maps for occupancy.  Assigned trunks are committed to the
+// routing space as wiring of their nets *without* DRC checking (true to the
+// "often not satisfying all design rules" nature); the maze router then
+// only needs short connections pin -> trunk, and the DRC cleanup pass
+// repairs the fallout.
+#pragma once
+
+#include "src/detailed/routing_space.hpp"
+#include "src/global/global_router.hpp"
+
+namespace bonn {
+
+struct TrackAssignParams {
+  Coord min_trunk_len = 3;  ///< minimum segment length in tiles to assign
+};
+
+struct TrackAssignStats {
+  int trunks_assigned = 0;
+  int trunks_dropped = 0;  ///< no free track found in the panel
+  Coord assigned_length = 0;
+};
+
+/// Assign long global-route segments to tracks and commit them as trunks.
+/// Returns per-net counts of committed trunk paths.
+TrackAssignStats assign_tracks(RoutingSpace& rs, const GlobalRouter& gr,
+                               const std::vector<SteinerSolution>& routes,
+                               const TrackAssignParams& params = {});
+
+}  // namespace bonn

@@ -1,0 +1,60 @@
+#include "src/shapegrid/cell_config.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+inline void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+}  // namespace
+
+std::size_t CellConfigHash::operator()(const CellConfig& c) const {
+  std::size_t h = c.shapes.size();
+  for (const CellShape& s : c.shapes) {
+    hash_combine(h, static_cast<std::size_t>(s.rel.xlo));
+    hash_combine(h, static_cast<std::size_t>(s.rel.ylo));
+    hash_combine(h, static_cast<std::size_t>(s.rel.xhi));
+    hash_combine(h, static_cast<std::size_t>(s.rel.yhi));
+    hash_combine(h, static_cast<std::size_t>(s.kind));
+    hash_combine(h, static_cast<std::size_t>(s.cls));
+    hash_combine(h, static_cast<std::size_t>(s.rule_width));
+    hash_combine(h, static_cast<std::size_t>(s.net));
+  }
+  return h;
+}
+
+CellConfigTable::CellConfigTable() {
+  configs_.emplace_back();  // id 0: empty configuration
+  ids_.emplace(configs_.back(), 0);
+}
+
+int CellConfigTable::intern(CellConfig c) {
+  std::sort(c.shapes.begin(), c.shapes.end());
+  auto it = ids_.find(c);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(configs_.size());
+  configs_.push_back(c);
+  ids_.emplace(std::move(c), id);
+  return id;
+}
+
+int CellConfigTable::add_shape(int base, const CellShape& s) {
+  CellConfig c = get(base);
+  c.shapes.push_back(s);
+  return intern(std::move(c));
+}
+
+int CellConfigTable::remove_shape(int base, const CellShape& s) {
+  CellConfig c = get(base);
+  auto it = std::find(c.shapes.begin(), c.shapes.end(), s);
+  BONN_CHECK_MSG(it != c.shapes.end(),
+                 "removing a cell shape that was never inserted");
+  c.shapes.erase(it);
+  return intern(std::move(c));
+}
+
+}  // namespace bonn

@@ -1,0 +1,81 @@
+// Cell configurations and the hash-consed configuration table (§3.3).
+//
+// A cell stores the intersections of shapes with its area in coordinates
+// relative to the cell anchor, plus the data needed to evaluate minimum
+// distance requirements (shape kind, class, and the *full* shape's rule
+// width — recomputing width from the clip would understate wide-metal
+// spacing).  Because the same configuration appears in a large number of
+// cells (every interior cell of an on-track wire looks identical), the
+// actual data lives in a lookup table indexed by configuration number.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/geom/rect.hpp"
+#include "src/tech/shapes.hpp"
+
+namespace bonn {
+
+/// One shape clipped to a cell, in cell-relative coordinates.
+///
+/// Deviation from §3.3: we store the owning net per shape instead of per
+/// interval.  The paper can keep nets out of the configurations because its
+/// cells are sized so shapes of different nets never share one; our pitch
+/// cells can legally mix (e.g. a pin and a foreign wire corner), and
+/// attributing ownership per shape keeps same-net exemption and rip-up
+/// candidate reporting exact.  Costs some configuration sharing across
+/// nets; the interval compression along wires is unaffected.
+struct CellShape {
+  Rect rel;
+  ShapeKind kind = ShapeKind::kWire;
+  ShapeClass cls = 0;
+  Coord rule_width = 0;  ///< rule width of the *unclipped* shape
+  int net = -1;          ///< owning net (-1 for blockages)
+
+  friend constexpr bool operator==(const CellShape&, const CellShape&) = default;
+  friend constexpr auto operator<=>(const CellShape&, const CellShape&) = default;
+};
+
+/// Immutable multiset of cell shapes (sorted); configuration number 0 is the
+/// empty configuration.
+struct CellConfig {
+  std::vector<CellShape> shapes;
+
+  friend bool operator==(const CellConfig&, const CellConfig&) = default;
+};
+
+struct CellConfigHash {
+  std::size_t operator()(const CellConfig& c) const;
+};
+
+/// Hash-consing table: equal configurations share one configuration number.
+/// Configurations are immutable; derived configurations (base + shape,
+/// base - shape) get their own numbers.
+class CellConfigTable {
+ public:
+  CellConfigTable();
+
+  static constexpr int kEmpty = 0;
+
+  int intern(CellConfig c);
+  int add_shape(int base, const CellShape& s);
+  /// Remove one instance of s from base; returns the new id.  It is a
+  /// logic error if s is not present in base.
+  int remove_shape(int base, const CellShape& s);
+
+  const CellConfig& get(int id) const {
+    return configs_[static_cast<std::size_t>(id)];
+  }
+  bool empty_config(int id) const { return id == kEmpty; }
+
+  /// Number of distinct configurations ever seen (Fig. 3 statistic).
+  std::size_t size() const { return configs_.size(); }
+
+ private:
+  std::vector<CellConfig> configs_;
+  std::unordered_map<CellConfig, int, CellConfigHash> ids_;
+};
+
+}  // namespace bonn

@@ -1,0 +1,169 @@
+#include "src/shapegrid/shape_grid.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Cell index range covering [lo, hi] with half-open cell semantics: a shape
+/// ending exactly on a cell boundary does not spill into the next cell.
+std::pair<Coord, Coord> cell_span(Coord lo, Coord hi, Coord origin, Coord cell,
+                                  Coord num_cells) {
+  lo = std::max(lo, origin);
+  hi = std::min(hi, origin + cell * num_cells);
+  if (lo > hi) return {0, -1};
+  Coord ilo = (lo - origin) / cell;
+  Coord ihi = (hi - origin) / cell;
+  if ((hi - origin) % cell == 0 && hi > lo) --ihi;
+  ilo = std::clamp<Coord>(ilo, 0, num_cells - 1);
+  ihi = std::clamp<Coord>(ihi, 0, num_cells - 1);
+  return {ilo, ihi};
+}
+
+}  // namespace
+
+ShapeGrid::ShapeGrid(const Tech& tech, const Rect& die) : die_(die) {
+  const int W = tech.num_wiring();
+  layers_.resize(static_cast<std::size_t>(W + tech.num_vias()));
+  for (int g = 0; g < static_cast<int>(layers_.size()); ++g) {
+    // Via layer v uses the grid flavour of the next lower wiring layer.
+    const int w = is_wiring(g) ? wiring_of_global(g) : via_of_global(g);
+    const WiringLayer& wl = tech.wiring[static_cast<std::size_t>(w)];
+    LayerGrid& lg = layers_[static_cast<std::size_t>(g)];
+    lg.pref = wl.pref;
+    lg.cell = wl.pitch;
+    const bool horiz = lg.pref == Dir::kHorizontal;
+    lg.origin_along = horiz ? die.xlo : die.ylo;
+    lg.origin_cross = horiz ? die.ylo : die.xlo;
+    const Coord along_len = horiz ? die.width() : die.height();
+    const Coord cross_len = horiz ? die.height() : die.width();
+    lg.cells_per_row = static_cast<int>((along_len + lg.cell - 1) / lg.cell);
+    lg.num_rows = static_cast<int>((cross_len + lg.cell - 1) / lg.cell);
+    lg.rows.assign(static_cast<std::size_t>(lg.num_rows),
+                   IntervalMap<CellEntry>(CellEntry{}));
+  }
+}
+
+Rect ShapeGrid::cell_rect(const LayerGrid& g, int row, Coord cell_idx) const {
+  const Coord alo = g.origin_along + cell_idx * g.cell;
+  const Coord clo = g.origin_cross + Coord(row) * g.cell;
+  return g.pref == Dir::kHorizontal
+             ? Rect{alo, clo, alo + g.cell, clo + g.cell}
+             : Rect{clo, alo, clo + g.cell, alo + g.cell};
+}
+
+void ShapeGrid::apply(const Shape& s, RipupLevel ripup, bool inserting) {
+  BONN_CHECK(s.global_layer >= 0 &&
+             s.global_layer < static_cast<int>(layers_.size()));
+  LayerGrid& g = layers_[static_cast<std::size_t>(s.global_layer)];
+  const bool horiz = g.pref == Dir::kHorizontal;
+  const Interval along = horiz ? s.rect.x_iv() : s.rect.y_iv();
+  const Interval cross = horiz ? s.rect.y_iv() : s.rect.x_iv();
+  const auto [rlo, rhi] =
+      cell_span(cross.lo, cross.hi, g.origin_cross, g.cell, g.num_rows);
+  const auto [clo, chi] =
+      cell_span(along.lo, along.hi, g.origin_along, g.cell, g.cells_per_row);
+  const Coord width = s.rect.rule_width();
+
+  for (Coord r = rlo; r <= rhi; ++r) {
+    auto& row = g.rows[static_cast<std::size_t>(r)];
+    for (Coord c = clo; c <= chi; ++c) {
+      const Rect cell = cell_rect(g, static_cast<int>(r), c);
+      const Rect clip = s.rect.intersection(cell);
+      BONN_ASSERT(!clip.empty() || clip.xlo == clip.xhi || clip.ylo == clip.yhi);
+      CellShape cs{clip.translated(-cell.xlo, -cell.ylo), s.kind, s.cls, width,
+                   s.net};
+      // Pins and blockages are fixed by kind; they must not drag the cell's
+      // *wiring* ripup level down to 0 (their fixedness is recovered from
+      // the shape kind at query time).
+      const bool fixed_kind =
+          s.kind == ShapeKind::kPin || s.kind == ShapeKind::kBlockage;
+      CellEntry e = row.at(c);
+      if (inserting) {
+        e.config = table_.add_shape(e.config, cs);
+        if (table_.get(e.config).shapes.size() == 1) {
+          e.net = s.net;
+          e.ripup = fixed_kind ? RipupLevel{255} : ripup;
+        } else {
+          if (e.net != s.net) e.net = -2;  // mixed ownership: conservative
+          if (!fixed_kind) e.ripup = std::min(e.ripup, ripup);
+        }
+      } else {
+        e.config = table_.remove_shape(e.config, cs);
+        if (table_.empty_config(e.config)) e = CellEntry{};
+        // else: net/ripup kept — exact for single-owner cells (the common
+        // case); mixed cells stay conservatively marked.
+      }
+      row.assign(c, c + 1, e);
+    }
+  }
+}
+
+void ShapeGrid::insert(const Shape& s, RipupLevel ripup) {
+  apply(s, ripup, /*inserting=*/true);
+}
+
+void ShapeGrid::remove(const Shape& s, RipupLevel ripup) {
+  apply(s, ripup, /*inserting=*/false);
+}
+
+void ShapeGrid::insert_all(std::span<const Shape> shapes, RipupLevel ripup) {
+  for (const Shape& s : shapes) insert(s, ripup);
+}
+
+void ShapeGrid::remove_all(std::span<const Shape> shapes, RipupLevel ripup) {
+  for (const Shape& s : shapes) remove(s, ripup);
+}
+
+void ShapeGrid::query(int global_layer, const Rect& window,
+                      const std::function<void(const GridShape&)>& fn) const {
+  if (global_layer < 0 || global_layer >= static_cast<int>(layers_.size())) {
+    return;
+  }
+  const LayerGrid& g = layers_[static_cast<std::size_t>(global_layer)];
+  const bool horiz = g.pref == Dir::kHorizontal;
+  const Interval along = horiz ? window.x_iv() : window.y_iv();
+  const Interval cross = horiz ? window.y_iv() : window.x_iv();
+  const auto [rlo, rhi] =
+      cell_span(cross.lo, cross.hi, g.origin_cross, g.cell, g.num_rows);
+  const auto [clo, chi] =
+      cell_span(along.lo, along.hi, g.origin_along, g.cell, g.cells_per_row);
+  for (Coord r = rlo; r <= rhi; ++r) {
+    const auto& row = g.rows[static_cast<std::size_t>(r)];
+    row.for_each(clo, chi + 1, [&](Coord plo, Coord phi, const CellEntry& e) {
+      if (table_.empty_config(e.config)) return;
+      const CellConfig& cfg = table_.get(e.config);
+      for (Coord c = plo; c < phi; ++c) {
+        const Rect cell = cell_rect(g, static_cast<int>(r), c);
+        for (const CellShape& cs : cfg.shapes) {
+          const Rect abs = cs.rel.translated(cell.xlo, cell.ylo);
+          if (!abs.intersects(window)) continue;
+          fn(GridShape{abs, cs.kind, cs.cls, cs.rule_width, cs.net, e.ripup});
+        }
+      }
+    });
+  }
+}
+
+bool ShapeGrid::region_empty(int global_layer, const Rect& window) const {
+  bool empty = true;
+  query(global_layer, window, [&](const GridShape&) { empty = false; });
+  return empty;
+}
+
+std::size_t ShapeGrid::interval_count() const {
+  std::size_t n = 0;
+  for (const LayerGrid& g : layers_) {
+    for (const auto& row : g.rows) {
+      row.for_each(0, g.cells_per_row, [&](Coord, Coord, const CellEntry& e) {
+        if (!table_.empty_config(e.config)) ++n;
+      });
+    }
+  }
+  return n;
+}
+
+}  // namespace bonn

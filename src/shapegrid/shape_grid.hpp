@@ -1,0 +1,99 @@
+// The shape grid (§3.3): the router's spatial database.
+//
+// Each global layer (wiring and via layers alike) is partitioned into
+// pitch-sized rectangular cells.  Rows of cells run in the layer's preferred
+// direction; each row is an interval map of cell configuration numbers plus
+// the owning net and ripup level, so runs of identical cells (the interior
+// of every on-track wire) collapse into single intervals.
+//
+// The shape grid answers the fundamental question of detailed routing: which
+// shapes are present near a location, whom do they belong to, and may they
+// be ripped up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/geom/interval_map.hpp"
+#include "src/shapegrid/cell_config.hpp"
+#include "src/tech/tech.hpp"
+
+namespace bonn {
+
+/// Ripup levels: 0 = fixed (blockages, pins, pre-routes); higher levels are
+/// removable, with larger numbers meaning "easier to rip".  The ripup-and-
+/// reroute driver passes a maximum level it is willing to disturb (§3.3).
+using RipupLevel = std::uint8_t;
+constexpr RipupLevel kFixed = 0;
+constexpr RipupLevel kCritical = 1;
+constexpr RipupLevel kStandard = 4;
+
+/// A shape materialized from the grid: absolute rect + ownership data.
+struct GridShape {
+  Rect rect;
+  ShapeKind kind;
+  ShapeClass cls;
+  Coord rule_width;
+  int net;            ///< -1: fixed/unknown owner, -2: mixed cell
+  /// Min ripup level over the cell's *wiring* shapes (pins/blockages are
+  /// fixed by kind and do not lower it); 255 if the cell has none.
+  RipupLevel ripup;
+};
+
+class ShapeGrid {
+ public:
+  ShapeGrid(const Tech& tech, const Rect& die);
+
+  /// Insert a shape.  `ripup` classifies it for rip-up (§3.3).
+  void insert(const Shape& s, RipupLevel ripup);
+  /// Remove a previously inserted shape (exact same record).
+  void remove(const Shape& s, RipupLevel ripup);
+
+  void insert_all(std::span<const Shape> shapes, RipupLevel ripup);
+  void remove_all(std::span<const Shape> shapes, RipupLevel ripup);
+
+  /// Visit every shape piece intersecting `window` on `global_layer`.
+  /// Pieces are cell-clipped; pieces of one shape in adjacent cells are
+  /// reported separately (callers merge when run-length matters).
+  void query(int global_layer, const Rect& window,
+             const std::function<void(const GridShape&)>& fn) const;
+
+  /// True if no shape piece intersects the window.
+  bool region_empty(int global_layer, const Rect& window) const;
+
+  // --- statistics for the Fig. 3 bench ---
+  std::size_t interval_count() const;       ///< stored non-trivial pieces
+  std::size_t config_count() const { return table_.size(); }
+  const Rect& die() const { return die_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  struct CellEntry {
+    int config = CellConfigTable::kEmpty;
+    int net = -1;
+    RipupLevel ripup = 255;
+    friend bool operator==(const CellEntry&, const CellEntry&) = default;
+  };
+
+  struct LayerGrid {
+    Dir pref = Dir::kHorizontal;   ///< rows run along this direction
+    Coord cell = 100;              ///< cell edge length
+    Coord origin_along = 0;        ///< die lower corner along row direction
+    Coord origin_cross = 0;
+    int num_rows = 0;
+    int cells_per_row = 0;
+    std::vector<IntervalMap<CellEntry>> rows;
+  };
+
+  /// Apply insert/remove of a shape across all intersected cells.
+  void apply(const Shape& s, RipupLevel ripup, bool inserting);
+
+  Rect cell_rect(const LayerGrid& g, int row, Coord cell_idx) const;
+
+  Rect die_;
+  std::vector<LayerGrid> layers_;  ///< indexed by global layer
+  CellConfigTable table_;
+};
+
+}  // namespace bonn

@@ -1,0 +1,54 @@
+// Layer-stack model (§1.1, §3.2).
+//
+// Wiring layers alternate preferred direction; between consecutive wiring
+// layers sits a via layer.  To give every shape a single integer address we
+// use *global* layer ids: wiring layer w -> 2w, via layer v (connecting
+// wiring layers v and v+1) -> 2v+1.
+#pragma once
+
+#include <string>
+
+#include "src/geom/point.hpp"
+
+namespace bonn {
+
+/// Global layer id helpers.
+constexpr int global_of_wiring(int w) { return 2 * w; }
+constexpr int global_of_via(int v) { return 2 * v + 1; }
+constexpr bool is_wiring(int g) { return (g % 2) == 0; }
+constexpr int wiring_of_global(int g) { return g / 2; }
+constexpr int via_of_global(int g) { return (g - 1) / 2; }
+
+struct WiringLayer {
+  int id = 0;        ///< wiring layer index, 0 = lowest (pin layer)
+  std::string name;
+  Dir pref = Dir::kHorizontal;
+  Coord pitch = 0;      ///< minimum wiring pitch p_L (§3.5)
+  Coord min_width = 0;  ///< standard wire width
+  Coord min_spacing = 0;  ///< base diff-net spacing for minimum-width shapes
+
+  // Line-end rule parameters (§3.1): an edge between two convex vertices
+  // shorter than `lineend_threshold` is a line-end and requires
+  // `lineend_extra` additional spacing.  BonnRoute handles this by
+  // pessimistically extending every wire shape by `lineend_extra` in
+  // preferred direction (Fig. 2).
+  Coord lineend_threshold = 0;
+  Coord lineend_extra = 0;
+
+  // Same-net rules (§3.7).
+  std::int64_t min_area = 0;  ///< minimum metal polygon area
+  Coord min_seg_len = 0;      ///< τ: minimum wire segment length (§3.8)
+  Coord notch_spacing = 0;    ///< notch rule: min gap between same-net edges
+  Coord short_edge_len = 0;   ///< short-edge rule threshold
+};
+
+struct ViaLayer {
+  int id = 0;  ///< via layer index; connects wiring layers id and id+1
+  std::string name;
+  Coord cut_size = 0;          ///< square cut edge length
+  Coord cut_spacing = 0;       ///< min distance between cuts on this layer
+  Coord interlayer_spacing = 0;  ///< inter-layer via rule (§3.1): min distance
+                                 ///< to cuts on the *adjacent* via layer
+};
+
+}  // namespace bonn

@@ -1,0 +1,77 @@
+#include "src/tech/shapes.hpp"
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+Shape expand_wire(const WireStick& w, int net, int wiretype,
+                  const Tech& tech) {
+  const Dir layer_pref = tech.pref(w.layer);
+  const bool is_pref =
+      (w.a == w.b) ||
+      (w.horizontal() == (layer_pref == Dir::kHorizontal));
+  const WireModel& model = tech.wire_model(wiretype, w.layer, is_pref);
+  Shape s;
+  s.rect = model.shape(w.a, w.b);
+  s.global_layer = global_of_wiring(w.layer);
+  s.kind = is_pref ? ShapeKind::kWire : ShapeKind::kJog;
+  s.cls = model.cls;
+  s.net = net;
+  return s;
+}
+
+std::vector<Shape> expand_via(const ViaStick& v, int net, int wiretype,
+                              const Tech& tech) {
+  BONN_CHECK(v.below >= 0 && v.below < tech.num_vias());
+  const ViaModel& m = tech.wt(wiretype).vias[static_cast<std::size_t>(v.below)];
+  std::vector<Shape> out;
+  out.reserve(4);
+  out.push_back({m.bottom.shape(v.at), global_of_wiring(v.below),
+                 ShapeKind::kViaPad, m.bottom.cls, net});
+  out.push_back({m.top.shape(v.at), global_of_wiring(v.below + 1),
+                 ShapeKind::kViaPad, m.top.cls, net});
+  out.push_back({m.cut.shape(v.at), global_of_via(v.below), ShapeKind::kViaCut,
+                 m.cut.cls, net});
+  if (m.has_projection && v.below + 1 < tech.num_vias()) {
+    out.push_back({m.projection.shape(v.at), global_of_via(v.below + 1),
+                   ShapeKind::kViaProj, m.projection.cls, net});
+  }
+  return out;
+}
+
+std::vector<Shape> expand_path_drawn(const RoutedPath& path,
+                                     const Tech& tech) {
+  std::vector<Shape> out;
+  out.reserve(path.wires.size() + 4 * path.vias.size());
+  for (const WireStick& w : path.wires) {
+    // The non-preferred (jog) model carries plain w/2 caps on both axes —
+    // exactly the drawn metal of a stick.
+    const WireModel& model = tech.wire_model(path.wiretype, w.layer, false);
+    const Dir layer_pref = tech.pref(w.layer);
+    const bool is_pref =
+        (w.a == w.b) || (w.horizontal() == (layer_pref == Dir::kHorizontal));
+    out.push_back(Shape{model.shape(w.a, w.b), global_of_wiring(w.layer),
+                        is_pref ? ShapeKind::kWire : ShapeKind::kJog,
+                        model.cls, path.net});
+  }
+  for (const ViaStick& v : path.vias) {
+    auto vs = expand_via(v, path.net, path.wiretype, tech);
+    out.insert(out.end(), vs.begin(), vs.end());
+  }
+  return out;
+}
+
+std::vector<Shape> expand_path(const RoutedPath& path, const Tech& tech) {
+  std::vector<Shape> out;
+  out.reserve(path.wires.size() + 4 * path.vias.size());
+  for (const WireStick& w : path.wires) {
+    out.push_back(expand_wire(w, path.net, path.wiretype, tech));
+  }
+  for (const ViaStick& v : path.vias) {
+    auto vs = expand_via(v, path.net, path.wiretype, tech);
+    out.insert(out.end(), vs.begin(), vs.end());
+  }
+  return out;
+}
+
+}  // namespace bonn

@@ -1,0 +1,53 @@
+// Expansion of stick figures into metal shapes (§3.2, Fig. 2).
+//
+// Every routed path is stored as sticks + wire type; this module derives the
+// induced shapes on wiring layers (wire shapes, via pads) and via layers
+// (cuts, inter-layer projections).  Preferred-direction wire shapes carry the
+// pessimistic line-end extension baked into the wire model; jogs do not.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/rect.hpp"
+#include "src/tech/stick.hpp"
+#include "src/tech/tech.hpp"
+
+namespace bonn {
+
+/// Kind of a derived shape — determines which legality bit of the fast grid
+/// it affects and which rules apply.
+enum class ShapeKind : std::uint8_t {
+  kWire,        ///< preferred-direction wire (line-end extended)
+  kJog,         ///< non-preferred-direction wire
+  kViaPad,      ///< via bottom/top pad on a wiring layer
+  kViaCut,      ///< cut shape on a via layer
+  kViaProj,     ///< cut projection on the next higher via layer
+  kPin,         ///< pin shape (fixed)
+  kBlockage,    ///< routing blockage (fixed)
+};
+
+struct Shape {
+  Rect rect;
+  int global_layer = 0;  ///< see layer.hpp global layer ids
+  ShapeKind kind = ShapeKind::kWire;
+  ShapeClass cls = 0;
+  int net = -1;  ///< owning net, -1 for blockages
+};
+
+/// All shapes induced by `path` under technology `tech`.
+std::vector<Shape> expand_path(const RoutedPath& path, const Tech& tech);
+
+/// Drawn-metal variant: wire sticks get plain w/2 end caps instead of the
+/// pessimistic line-end extension (§3.1 bakes the extension into the wire
+/// models for *routing*; signoff checks — the DRC audit, the cleanup pass —
+/// must judge the metal that would actually be manufactured).
+std::vector<Shape> expand_path_drawn(const RoutedPath& path, const Tech& tech);
+
+/// Shapes of a single wire stick.
+Shape expand_wire(const WireStick& w, int net, int wiretype, const Tech& tech);
+
+/// Shapes of a single via (pad/pad/cut/projection).
+std::vector<Shape> expand_via(const ViaStick& v, int net, int wiretype,
+                              const Tech& tech);
+
+}  // namespace bonn

@@ -1,0 +1,54 @@
+// Stick figures (§3.2): the one-dimensional abstraction of wires and vias.
+//
+// All routing results are stored as stick figures plus a wire type; metal
+// shapes are derived on demand (shapes.hpp).  This keeps the database small
+// and makes legality checking uniform.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/point.hpp"
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+/// An axis-parallel wire segment on a wiring layer.  a and b may coincide
+/// (degenerate stick — a via landing pad patch).
+struct WireStick {
+  Point a, b;
+  int layer = 0;  ///< wiring layer index
+
+  bool horizontal() const { return a.y == b.y; }
+  Coord length() const { return l1_dist(a, b); }
+  /// Normalize so that a <= b lexicographically.
+  void normalize() {
+    if (b < a) std::swap(a, b);
+  }
+};
+
+/// A via connecting wiring layers `below` and `below + 1` at point `at`.
+struct ViaStick {
+  Point at;
+  int below = 0;  ///< lower wiring layer; the via sits on via layer `below`
+};
+
+/// A routed connection: a set of wire sticks and vias with one wire type.
+/// Paths are the unit of insertion/removal in the routing space and the unit
+/// of rip-up (§4.4).
+struct RoutedPath {
+  int net = -1;
+  int wiretype = 0;
+  std::vector<WireStick> wires;
+  std::vector<ViaStick> vias;
+
+  bool empty() const { return wires.empty() && vias.empty(); }
+
+  /// Total wirelength (sum of stick lengths, vias excluded).
+  Coord wirelength() const {
+    Coord len = 0;
+    for (const auto& w : wires) len += w.length();
+    return len;
+  }
+};
+
+}  // namespace bonn

@@ -1,0 +1,63 @@
+// Wire models, via models and wire types (§3.2).
+//
+// A *wire model* maps a one-dimensional stick figure to its metal shape: the
+// shape is the Minkowski sum of the stick figure and the model rectangle,
+// plus a shape class used to determine minimum distance requirements.
+// A *via model* induces shapes on three layers (bottom pad, cut, top pad);
+// when an inter-layer via rule applies, the cut's projection onto the next
+// higher via layer is part of the model as well.
+// A *wire type* maps every wiring layer to a pair of wire models (preferred /
+// non-preferred direction) and every via layer to a via model.
+#pragma once
+
+#include <vector>
+
+#include "src/geom/rect.hpp"
+#include "src/tech/rules.hpp"
+
+namespace bonn {
+
+struct WireModel {
+  /// Expansion rectangle around the stick figure (Minkowski summand).
+  /// For a horizontal standard wire of width w with line-end extension e:
+  /// {-e, -w/2, +e, +w/2}.
+  Rect expand;
+  ShapeClass cls = 0;
+
+  /// Metal shape of a stick segment from a to b (axis-parallel, a <= b).
+  Rect shape(const Point& a, const Point& b) const {
+    return Rect::from_points(a, b).minkowski(expand);
+  }
+  Rect shape(const Point& p) const { return shape(p, p); }
+
+  /// Half-width perpendicular to a horizontal run.
+  Coord half_height() const { return expand.yhi; }
+  Coord half_width() const { return expand.xhi; }
+};
+
+struct ViaModel {
+  WireModel bottom;      ///< pad on wiring layer v
+  WireModel cut;         ///< cut shape on via layer v
+  WireModel top;         ///< pad on wiring layer v+1
+  /// Projection of the cut onto the next higher via layer when an
+  /// inter-layer via rule applies (empty expand => no rule).
+  WireModel projection;
+  bool has_projection = false;
+};
+
+/// A wire type: per-wiring-layer models for preferred and non-preferred
+/// direction (jogs), per-via-layer via models.  Index 0 is the standard
+/// (minimum width) wire type; the fast grid caches legality only for the few
+/// frequently used wire types (§3.6).
+struct WireType {
+  int id = 0;
+  std::string name;
+  std::vector<WireModel> pref;     ///< [wiring layer] model for preferred dir
+  std::vector<WireModel> nonpref;  ///< [wiring layer] model for jogs
+  std::vector<ViaModel> vias;      ///< [via layer]
+  /// Extra pitch multiple this type occupies in global routing (wide wires
+  /// consume more edge capacity): w(n,e) of §2.1 in track units.
+  double track_usage = 1.0;
+};
+
+}  // namespace bonn

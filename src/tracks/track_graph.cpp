@@ -1,0 +1,201 @@
+#include "src/tracks/track_graph.hpp"
+
+#include <algorithm>
+
+#include "src/tracks/track_opt.hpp"
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+int exact_index(const std::vector<Coord>& v, Coord c) {
+  auto it = std::lower_bound(v.begin(), v.end(), c);
+  if (it == v.end() || *it != c) return -1;
+  return static_cast<int>(it - v.begin());
+}
+
+int nearest_index(const std::vector<Coord>& v, Coord c) {
+  if (v.empty()) return -1;
+  auto it = std::lower_bound(v.begin(), v.end(), c);
+  if (it == v.end()) return static_cast<int>(v.size()) - 1;
+  if (it == v.begin()) return 0;
+  const int hi = static_cast<int>(it - v.begin());
+  return (*it - c < c - *(it - 1)) ? hi : hi - 1;
+}
+
+std::pair<int, int> range_indices(const std::vector<Coord>& v, Interval iv) {
+  const int lo = static_cast<int>(
+      std::lower_bound(v.begin(), v.end(), iv.lo) - v.begin());
+  const int hi = static_cast<int>(
+      std::upper_bound(v.begin(), v.end(), iv.hi) - v.begin()) - 1;
+  return {lo, hi};
+}
+
+}  // namespace
+
+TrackGraph::TrackGraph(const Tech& tech, const Rect& die,
+                       std::span<const Shape> fixed_shapes)
+    : die_(die) {
+  const int L = tech.num_wiring();
+  BONN_CHECK(L >= 2);
+  pref_.resize(static_cast<std::size_t>(L));
+  tracks_.resize(static_cast<std::size_t>(L));
+  stations_.resize(static_cast<std::size_t>(L));
+  up_track_.resize(static_cast<std::size_t>(L));
+  dn_track_.resize(static_cast<std::size_t>(L));
+  st_of_up_.resize(static_cast<std::size_t>(L));
+  st_of_dn_.resize(static_cast<std::size_t>(L));
+
+  for (int l = 0; l < L; ++l) {
+    const WiringLayer& wl = tech.wiring[static_cast<std::size_t>(l)];
+    pref_[static_cast<std::size_t>(l)] = wl.pref;
+
+    // Obstacles: fixed non-pin shapes on this wiring layer, expanded so any
+    // standard-wire centreline outside them is legal.
+    const Coord expand = wl.min_width / 2 + wl.min_spacing;
+    std::vector<Rect> obstacles;
+    std::vector<Rect> usable_bonus;
+    for (const Shape& s : fixed_shapes) {
+      if (s.global_layer != global_of_wiring(l)) continue;
+      if (s.kind == ShapeKind::kPin) {
+        // Pin-alignment rectangles (§3.5): reward tracks that allow on-track
+        // pin access on the pin's layer and the one above.
+        usable_bonus.push_back(s.rect);
+        continue;
+      }
+      obstacles.push_back(s.rect.expanded(expand));
+    }
+    // Pins one layer below reward tracks here too (access from above).
+    if (l > 0) {
+      for (const Shape& s : fixed_shapes) {
+        if (s.global_layer == global_of_wiring(l - 1) &&
+            s.kind == ShapeKind::kPin) {
+          usable_bonus.push_back(s.rect);
+        }
+      }
+    }
+
+    std::vector<Rect> usable = usable_regions(die, obstacles);
+    usable.insert(usable.end(), usable_bonus.begin(), usable_bonus.end());
+
+    const Dir cross_dir = orthogonal(wl.pref);
+    Interval span = die.iv(cross_dir);
+    span.lo += wl.min_width / 2;
+    span.hi -= wl.min_width / 2;
+    tracks_[static_cast<std::size_t>(l)] =
+        optimize_tracks(span, usable, wl.pref, wl.pitch).tracks;
+  }
+
+  // Stations: union of neighbouring layers' track coordinates.
+  for (int l = 0; l < L; ++l) {
+    std::vector<Coord> st;
+    if (l > 0) {
+      const auto& below = tracks_[static_cast<std::size_t>(l - 1)];
+      st.insert(st.end(), below.begin(), below.end());
+    }
+    if (l + 1 < L) {
+      const auto& above = tracks_[static_cast<std::size_t>(l + 1)];
+      st.insert(st.end(), above.begin(), above.end());
+    }
+    std::sort(st.begin(), st.end());
+    st.erase(std::unique(st.begin(), st.end()), st.end());
+    stations_[static_cast<std::size_t>(l)] = std::move(st);
+  }
+
+  // Per-station via maps and reverse (track-of-neighbour -> station) maps.
+  for (int l = 0; l < L; ++l) {
+    const auto& st = stations_[static_cast<std::size_t>(l)];
+    auto& up = up_track_[static_cast<std::size_t>(l)];
+    auto& dn = dn_track_[static_cast<std::size_t>(l)];
+    up.assign(st.size(), -1);
+    dn.assign(st.size(), -1);
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      if (l + 1 < L) up[i] = exact_index(tracks_[static_cast<std::size_t>(l + 1)], st[i]);
+      if (l > 0) dn[i] = exact_index(tracks_[static_cast<std::size_t>(l - 1)], st[i]);
+    }
+    if (l + 1 < L) {
+      const auto& above = tracks_[static_cast<std::size_t>(l + 1)];
+      auto& m = st_of_up_[static_cast<std::size_t>(l)];
+      m.resize(above.size());
+      for (std::size_t t = 0; t < above.size(); ++t) {
+        m[t] = exact_index(st, above[t]);
+      }
+    }
+    if (l > 0) {
+      const auto& below = tracks_[static_cast<std::size_t>(l - 1)];
+      auto& m = st_of_dn_[static_cast<std::size_t>(l)];
+      m.resize(below.size());
+      for (std::size_t t = 0; t < below.size(); ++t) {
+        m[t] = exact_index(st, below[t]);
+      }
+    }
+  }
+}
+
+int TrackGraph::station_index(int layer, Coord c) const {
+  return exact_index(stations_[static_cast<std::size_t>(layer)], c);
+}
+
+int TrackGraph::track_index(int layer, Coord c) const {
+  return exact_index(tracks_[static_cast<std::size_t>(layer)], c);
+}
+
+std::pair<int, int> TrackGraph::station_range(int layer, Interval iv) const {
+  return range_indices(stations_[static_cast<std::size_t>(layer)], iv);
+}
+
+std::pair<int, int> TrackGraph::track_range(int layer, Interval iv) const {
+  return range_indices(tracks_[static_cast<std::size_t>(layer)], iv);
+}
+
+TrackVertex TrackGraph::nearest_vertex(int layer, const Point& p) const {
+  const Dir d = pref_[static_cast<std::size_t>(layer)];
+  const Coord cross = (d == Dir::kHorizontal) ? p.y : p.x;
+  const Coord along = (d == Dir::kHorizontal) ? p.x : p.y;
+  const int ti = nearest_index(tracks_[static_cast<std::size_t>(layer)], cross);
+  const int si = nearest_index(stations_[static_cast<std::size_t>(layer)], along);
+  if (ti < 0 || si < 0) return {};
+  return {layer, ti, si};
+}
+
+std::vector<TrackVertex> TrackGraph::vertices_in(int layer,
+                                                 const Rect& area) const {
+  const Dir d = pref_[static_cast<std::size_t>(layer)];
+  const auto [tlo, thi] = track_range(layer, area.iv(orthogonal(d)));
+  const auto [slo, shi] = station_range(layer, area.iv(d));
+  std::vector<TrackVertex> out;
+  for (int t = tlo; t <= thi; ++t) {
+    for (int s = slo; s <= shi; ++s) out.push_back({layer, t, s});
+  }
+  return out;
+}
+
+TrackVertex TrackGraph::via_up(const TrackVertex& v) const {
+  const int tj = up_track(v.layer, v.station);
+  if (tj < 0) return {};
+  const int sj = st_of_dn_[static_cast<std::size_t>(v.layer) + 1]
+                          [static_cast<std::size_t>(v.track)];
+  if (sj < 0) return {};
+  return {v.layer + 1, tj, sj};
+}
+
+TrackVertex TrackGraph::via_dn(const TrackVertex& v) const {
+  const int tj = dn_track(v.layer, v.station);
+  if (tj < 0) return {};
+  const int sj = st_of_up_[static_cast<std::size_t>(v.layer) - 1]
+                          [static_cast<std::size_t>(v.track)];
+  if (sj < 0) return {};
+  return {v.layer - 1, tj, sj};
+}
+
+std::int64_t TrackGraph::num_vertices() const {
+  std::int64_t n = 0;
+  for (std::size_t l = 0; l < tracks_.size(); ++l) {
+    n += static_cast<std::int64_t>(tracks_[l].size()) *
+         static_cast<std::int64_t>(stations_[l].size());
+  }
+  return n;
+}
+
+}  // namespace bonn

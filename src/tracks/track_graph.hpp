@@ -1,0 +1,113 @@
+// The track graph (§3.5).
+//
+// Tracks on each wiring layer come from the track optimization problem; the
+// *stations* along a track are the cross coordinates of tracks projected
+// from the neighbouring wiring layers.  Vertices are (layer, track, station)
+// triples; edges connect consecutive stations on a track (preferred-
+// direction wires), equal stations on adjacent tracks (jogs), and coincident
+// points on adjacent layers (vias).  The graph is never materialized — the
+// path search enumerates neighbours implicitly and asks the fast grid /
+// distance rule checker for usability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/db/chip.hpp"
+#include "src/geom/rect.hpp"
+#include "src/tech/tech.hpp"
+
+namespace bonn {
+
+/// Compact vertex handle into the track graph.
+struct TrackVertex {
+  int layer = -1;  ///< wiring layer
+  int track = -1;  ///< index into tracks(layer)
+  int station = -1;  ///< index into stations(layer)
+
+  friend constexpr bool operator==(const TrackVertex&, const TrackVertex&) = default;
+  friend constexpr auto operator<=>(const TrackVertex&, const TrackVertex&) = default;
+  bool valid() const { return layer >= 0; }
+};
+
+class TrackGraph {
+ public:
+  /// Builds tracks per layer by solving the track optimization problem with
+  /// the chip's fixed shapes as obstacles (expanded for the standard wire),
+  /// then derives stations from neighbouring layers' tracks.
+  TrackGraph(const Tech& tech, const Rect& die,
+             std::span<const Shape> fixed_shapes);
+
+  int num_layers() const { return static_cast<int>(tracks_.size()); }
+  const Rect& die() const { return die_; }
+
+  const std::vector<Coord>& tracks(int layer) const {
+    return tracks_[static_cast<std::size_t>(layer)];
+  }
+  const std::vector<Coord>& stations(int layer) const {
+    return stations_[static_cast<std::size_t>(layer)];
+  }
+
+  /// Track index on layer+1 whose cross coordinate equals station `si` of
+  /// `layer`, or -1 (no via possible here).
+  int up_track(int layer, int si) const {
+    return up_track_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(si)];
+  }
+  /// Same for layer-1.
+  int dn_track(int layer, int si) const {
+    return dn_track_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(si)];
+  }
+
+  /// Planar coordinates of a vertex.
+  Point vertex_pt(const TrackVertex& v) const {
+    const Coord t = tracks_[static_cast<std::size_t>(v.layer)][static_cast<std::size_t>(v.track)];
+    const Coord s = stations_[static_cast<std::size_t>(v.layer)][static_cast<std::size_t>(v.station)];
+    return pref_[static_cast<std::size_t>(v.layer)] == Dir::kHorizontal
+               ? Point{s, t}
+               : Point{t, s};
+  }
+  PointL vertex_ptl(const TrackVertex& v) const {
+    const Point p = vertex_pt(v);
+    return {p.x, p.y, v.layer};
+  }
+
+  Dir pref(int layer) const { return pref_[static_cast<std::size_t>(layer)]; }
+
+  /// Index of the station on `layer` with exactly coordinate c, or -1.
+  int station_index(int layer, Coord c) const;
+  /// Index of the track on `layer` with exactly coordinate c, or -1.
+  int track_index(int layer, Coord c) const;
+  /// Station index range [lo, hi] intersecting coordinate interval; empty if
+  /// hi < lo.
+  std::pair<int, int> station_range(int layer, Interval iv) const;
+  std::pair<int, int> track_range(int layer, Interval iv) const;
+
+  /// Vertex nearest to a planar point on a layer (for pin access endpoints).
+  TrackVertex nearest_vertex(int layer, const Point& p) const;
+
+  /// All vertices of `layer` whose point lies in `area`.
+  std::vector<TrackVertex> vertices_in(int layer, const Rect& area) const;
+
+  /// Via partner of v on layer v.layer+1 (same planar point), or invalid.
+  TrackVertex via_up(const TrackVertex& v) const;
+  TrackVertex via_dn(const TrackVertex& v) const;
+
+  /// Total vertex count (memory/statistics).
+  std::int64_t num_vertices() const;
+
+ private:
+  Rect die_;
+  std::vector<Dir> pref_;
+  std::vector<std::vector<Coord>> tracks_;    ///< per layer, sorted
+  std::vector<std::vector<Coord>> stations_;  ///< per layer, sorted
+  std::vector<std::vector<int>> up_track_;    ///< per layer, per station
+  std::vector<std::vector<int>> dn_track_;
+  /// station index on layer l of track t of layer l+1 (for via traversal):
+  /// st_of_up_[l][t_above] = station index on l.
+  std::vector<std::vector<int>> st_of_up_;
+  std::vector<std::vector<int>> st_of_dn_;
+
+  friend class TrackGraphBuilderAccess;
+};
+
+}  // namespace bonn

@@ -1,0 +1,177 @@
+#include "src/tracks/track_opt.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Piecewise-constant profile f(c) = total usable track length at cross
+/// coordinate c; membership of a rect uses the half-open cross interval.
+struct Profile {
+  std::vector<Coord> breaks;       // sorted breakpoints
+  std::vector<std::int64_t> vals;  // vals[i] on [breaks[i], breaks[i+1])
+
+  std::int64_t at(Coord c) const {
+    auto it = std::upper_bound(breaks.begin(), breaks.end(), c);
+    if (it == breaks.begin()) return 0;
+    const std::size_t i = static_cast<std::size_t>(it - breaks.begin()) - 1;
+    return i < vals.size() ? vals[i] : 0;
+  }
+};
+
+Profile build_profile(std::span<const Rect> usable, Dir pref) {
+  std::map<Coord, std::int64_t> deltas;
+  for (const Rect& r : usable) {
+    if (r.empty()) continue;
+    const Coord len = r.iv(pref).length();
+    if (len <= 0) continue;
+    const Interval cross = r.iv(orthogonal(pref));
+    deltas[cross.lo] += len;
+    deltas[cross.hi] -= len;  // half-open membership
+  }
+  Profile p;
+  std::int64_t cur = 0;
+  for (auto& [c, d] : deltas) {
+    cur += d;
+    p.breaks.push_back(c);
+    p.vals.push_back(cur);
+  }
+  if (!p.vals.empty()) p.vals.back() = 0;  // beyond last breakpoint: empty
+  return p;
+}
+
+}  // namespace
+
+std::int64_t usable_track_length(std::span<const Coord> tracks,
+                                 std::span<const Rect> usable, Dir pref) {
+  const Profile prof = build_profile(usable, pref);
+  std::int64_t total = 0;
+  for (Coord t : tracks) total += prof.at(t);
+  return total;
+}
+
+TrackOptResult optimize_tracks(Interval cross_span,
+                               std::span<const Rect> usable, Dir pref,
+                               Coord pitch) {
+  BONN_CHECK(pitch > 0);
+  TrackOptResult result;
+  if (cross_span.empty()) return result;
+  const Profile prof = build_profile(usable, pref);
+
+  // Candidate positions: residue classes (mod pitch) of all breakpoints,
+  // intersected with the span.  An optimal solution can be normalized so
+  // that every maximal pitch-tight chain of tracks has one track on a
+  // breakpoint, putting all its tracks into that breakpoint's residue class.
+  std::vector<Coord> cand;
+  std::vector<Coord> anchors(prof.breaks);
+  anchors.push_back(cross_span.lo);  // allow an unanchored chain at the edge
+  for (Coord b : anchors) {
+    Coord start = b;
+    if (start < cross_span.lo) {
+      start += ((cross_span.lo - start + pitch - 1) / pitch) * pitch;
+    } else {
+      start -= ((start - cross_span.lo) / pitch) * pitch;
+    }
+    for (Coord c = start; c <= cross_span.hi; c += pitch) cand.push_back(c);
+  }
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+  if (cand.empty()) return result;
+
+  const std::size_t n = cand.size();
+  std::vector<std::int64_t> best(n);        // best total using cand[i] last
+  std::vector<int> parent(n, -1);
+  std::vector<std::int64_t> prefix_best(n); // max best[0..i]
+  std::vector<int> prefix_arg(n);
+  std::size_t j = 0;  // two-pointer: last index with cand[j] <= cand[i]-pitch
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t f = prof.at(cand[i]);
+    std::int64_t prev = 0;
+    int prev_idx = -1;
+    // advance j to the last candidate compatible with cand[i]
+    while (j < i && cand[j] <= cand[i] - pitch) ++j;
+    // after loop, j is first index with cand[j] > cand[i]-pitch; usable max
+    // is prefix over [0, j-1].
+    if (j > 0 && cand[j - 1] <= cand[i] - pitch) {
+      prev = prefix_best[j - 1];
+      prev_idx = prefix_arg[j - 1];
+    }
+    best[i] = f + prev;
+    parent[i] = prev_idx;
+    if (i == 0 || best[i] > prefix_best[i - 1]) {
+      prefix_best[i] = best[i];
+      prefix_arg[i] = static_cast<int>(i);
+    } else {
+      prefix_best[i] = prefix_best[i - 1];
+      prefix_arg[i] = prefix_arg[i - 1];
+    }
+  }
+
+  // Reconstruct the best chain; then greedily densify: free slots with zero
+  // profile value between chosen tracks stay empty (they are fully blocked),
+  // but ties were resolved towards more tracks by including every candidate.
+  int cur = prefix_arg[n - 1];
+  result.usable_length = prefix_best[n - 1];
+  while (cur >= 0) {
+    result.tracks.push_back(cand[static_cast<std::size_t>(cur)]);
+    cur = parent[static_cast<std::size_t>(cur)];
+  }
+  std::reverse(result.tracks.begin(), result.tracks.end());
+
+  // Fill remaining gaps (>= 2*pitch) with pitch-spaced tracks so that fully
+  // blocked bands still carry tracks for ripup-mode routing; these add zero
+  // usable length and never displace an optimal track.
+  std::vector<Coord> filled;
+  Coord prev_t = cross_span.lo - pitch;
+  for (std::size_t i = 0; i <= result.tracks.size(); ++i) {
+    const Coord next_t =
+        i < result.tracks.size() ? result.tracks[i] : cross_span.hi + pitch;
+    for (Coord c = prev_t + pitch; c + pitch <= next_t; c += pitch) {
+      if (c >= cross_span.lo && c <= cross_span.hi) filled.push_back(c);
+    }
+    if (i < result.tracks.size()) filled.push_back(next_t);
+    prev_t = next_t;
+  }
+  result.tracks = std::move(filled);
+  return result;
+}
+
+std::vector<Rect> usable_regions(const Rect& die,
+                                 std::span<const Rect> obstacles) {
+  // Slab decomposition over y: for each y-slab, the free x-intervals are the
+  // complement of the union of obstacle x-intervals intersecting the slab.
+  std::vector<Coord> ys{die.ylo, die.yhi};
+  for (const Rect& o : obstacles) {
+    if (!o.intersects(die)) continue;
+    ys.push_back(std::clamp(o.ylo, die.ylo, die.yhi));
+    ys.push_back(std::clamp(o.yhi, die.ylo, die.yhi));
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Rect> free_rects;
+  for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+    const Coord ylo = ys[i], yhi = ys[i + 1];
+    std::vector<Interval> blocked;
+    for (const Rect& o : obstacles) {
+      if (o.ylo < yhi && o.yhi > ylo && o.xlo < die.xhi && o.xhi > die.xlo) {
+        blocked.push_back({std::max(o.xlo, die.xlo), std::min(o.xhi, die.xhi)});
+      }
+    }
+    std::sort(blocked.begin(), blocked.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    Coord x = die.xlo;
+    for (const Interval& b : blocked) {
+      if (b.lo > x) free_rects.push_back({x, ylo, b.lo, yhi});
+      x = std::max(x, b.hi);
+    }
+    if (x < die.xhi) free_rects.push_back({x, ylo, die.xhi, yhi});
+  }
+  return free_rects;
+}
+
+}  // namespace bonn

@@ -1,0 +1,49 @@
+// The track optimization problem (§3.5, Theorem 3.1).
+//
+// Given a layer with minimum pitch p and a set A of axis-parallel rectangles
+// with pairwise disjoint interiors in which a standard wire can run, place
+// lines (tracks) in preferred direction, pairwise >= p apart, maximizing the
+// total usable track length sum_t |t ∩ ∪A|.
+//
+// We solve it exactly: the usable-length profile f(c) over the cross
+// coordinate is piecewise constant; an optimal solution exists whose tracks
+// all lie in the residue classes (mod p) of profile breakpoints, so a DP over
+// those O(|A| · n_tracks) candidates with a prefix-max sweep is exact and
+// runs in O(N log N) — the same flavour as the paper's O(|A| log |A|) bound.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/geom/interval.hpp"
+#include "src/geom/rect.hpp"
+
+namespace bonn {
+
+struct TrackOptResult {
+  std::vector<Coord> tracks;        ///< chosen cross coordinates, ascending
+  std::int64_t usable_length = 0;   ///< objective value achieved
+};
+
+/// Solve the track optimization problem.
+/// `cross_span`: allowed band of cross coordinates (die extent minus margin).
+/// `usable`: rectangles of A (disjoint interiors).
+/// `pref`: preferred direction of the layer (tracks run along it).
+/// `pitch`: minimum distance between tracks.
+TrackOptResult optimize_tracks(Interval cross_span,
+                               std::span<const Rect> usable, Dir pref,
+                               Coord pitch);
+
+/// Decompose die ∖ (union of obstacle rects) into disjoint free rectangles —
+/// the input A of the track optimization problem.  Obstacles should already
+/// be expanded by half wire width + spacing so that any centreline inside a
+/// free rect is legal.
+std::vector<Rect> usable_regions(const Rect& die,
+                                 std::span<const Rect> obstacles);
+
+/// Reference objective evaluator (used by tests): total usable length of the
+/// given track set w.r.t. A.
+std::int64_t usable_track_length(std::span<const Coord> tracks,
+                                 std::span<const Rect> usable, Dir pref);
+
+}  // namespace bonn

@@ -1,0 +1,39 @@
+// Lightweight assertion / check macros used across the BonnRoute reproduction.
+//
+// BONN_ASSERT is an internal-invariant check (compiled out in NDEBUG builds,
+// like assert).  BONN_CHECK is an always-on precondition check for public API
+// boundaries; it throws std::logic_error so that misuse is diagnosable even in
+// release builds without killing long benchmark runs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bonn {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "BONN_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace bonn
+
+#define BONN_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::bonn::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BONN_CHECK_MSG(expr, msg)                                                     \
+  do {                                                                                \
+    if (!(expr)) ::bonn::check_failed(#expr, __FILE__, __LINE__, (std::string)(msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define BONN_ASSERT(expr) ((void)0)
+#else
+#define BONN_ASSERT(expr) BONN_CHECK(expr)
+#endif

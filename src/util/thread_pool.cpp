@@ -1,0 +1,76 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  BONN_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Dynamic index dispatch: a shared atomic counter keeps threads busy even
+  // when per-item cost is skewed (routing regions are).
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t tasks = std::min(n, workers_.size());
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([next, n, &fn] {
+      for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace bonn

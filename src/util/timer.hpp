@@ -1,0 +1,42 @@
+// Wall-clock timer used by the benchmark harnesses to report the runtime
+// splits the paper gives (e.g. Table III's "Alg. 2 / R&R" breakdown).
+#pragma once
+
+#include <chrono>
+
+namespace bonn {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across many scopes (e.g. total oracle time per phase).
+class StopWatch {
+ public:
+  void start() { t_.restart(); running_ = true; }
+  void stop() {
+    if (running_) total_ += t_.seconds();
+    running_ = false;
+  }
+  double seconds() const { return running_ ? total_ + t_.seconds() : total_; }
+
+ private:
+  Timer t_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace bonn

@@ -1,0 +1,153 @@
+// Blockage grid (Algorithm 3) and τ-feasible path search tests (§3.8).
+#include <gtest/gtest.h>
+
+#include "src/blockagegrid/blockage_grid.hpp"
+#include "src/blockagegrid/tau_path.hpp"
+
+namespace bonn {
+namespace {
+
+TEST(BlockageGridCoords, ContainsBaseAndTauShifts) {
+  const auto coords =
+      blockage_grid_coords({100, 150, 900}, /*tau=*/50, {0, 1000});
+  // Base coordinates present.
+  for (Coord b : {100, 150, 900}) {
+    EXPECT_NE(std::find(coords.begin(), coords.end(), b), coords.end());
+  }
+  // τ-shifted copies within the cluster padding.
+  EXPECT_NE(std::find(coords.begin(), coords.end(), Coord{200}), coords.end());
+  EXPECT_NE(std::find(coords.begin(), coords.end(), Coord{50}), coords.end());
+  // 100 and 150 cluster (gap 50 < 4τ=200); padding is 2τ=100, so 300 is not
+  // generated from that cluster; 900's cluster spans [800, 1000].
+  EXPECT_NE(std::find(coords.begin(), coords.end(), Coord{800}), coords.end());
+  EXPECT_NE(std::find(coords.begin(), coords.end(), Coord{1000}), coords.end());
+  // Far-outside coordinates are not generated.
+  EXPECT_EQ(std::find(coords.begin(), coords.end(), Coord{500}), coords.end());
+  // Sorted unique.
+  EXPECT_TRUE(std::is_sorted(coords.begin(), coords.end()));
+  EXPECT_EQ(std::adjacent_find(coords.begin(), coords.end()), coords.end());
+}
+
+TEST(BlockageGridCoords, BoundedSize) {
+  // Dense cluster of n coords: grid stays O(width/τ + n), not unbounded.
+  std::vector<Coord> base;
+  for (int i = 0; i < 50; ++i) base.push_back(i * 30);
+  const auto coords = blockage_grid_coords(base, 40, {0, 5000});
+  EXPECT_LE(coords.size(), 300u);
+}
+
+TEST(BlockageGrid, BuildFromObstacles) {
+  const std::vector<Rect> obs{{200, 200, 400, 300}};
+  const std::vector<Point> anchors{{50, 50}, {600, 600}};
+  const auto grid = BlockageGrid::build({0, 0, 700, 700}, obs, anchors, 60);
+  EXPECT_GT(grid.xs.size(), 4u);
+  EXPECT_GT(grid.ys.size(), 4u);
+  EXPECT_GT(grid.vertex_count(), 16u);
+}
+
+class TauPathTest : public ::testing::Test {
+ protected:
+  static std::vector<TauLayer> one_layer(std::vector<Rect> obs, Coord tau) {
+    TauLayer l;
+    l.obstacles = std::move(obs);
+    l.tau = tau;
+    l.pref = Dir::kHorizontal;
+    return {l};
+  }
+};
+
+TEST_F(TauPathTest, StraightLine) {
+  TauPathSearch search({0, 0, 1000, 1000}, one_layer({}, 100), 400);
+  const PointL src{100, 500, 0};
+  const std::vector<PointL> tgt{{900, 500, 0}};
+  const auto r = search.shortest(src, tgt);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->length, 800);
+  EXPECT_EQ(r->points.size(), 2u);
+}
+
+TEST_F(TauPathTest, DetourAroundObstacle) {
+  // Wall between source and target.
+  TauPathSearch search({0, 0, 1000, 1000},
+                       one_layer({{450, 0, 550, 800}}, 100), 400);
+  const PointL src{100, 400, 0};
+  const std::vector<PointL> tgt{{900, 400, 0}};
+  const auto r = search.shortest(src, tgt);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->length, 800);  // must detour over the wall
+  // Verify τ-feasibility: every segment >= 100.
+  for (std::size_t i = 1; i < r->points.size(); ++i) {
+    const Coord seg = l1_dist(r->points[i - 1].pt(), r->points[i].pt());
+    EXPECT_GE(seg, 100) << "segment " << i;
+  }
+  // And obstacle avoidance.
+  for (std::size_t i = 1; i < r->points.size(); ++i) {
+    const Rect seg = Rect::from_points(r->points[i - 1].pt(), r->points[i].pt());
+    EXPECT_FALSE(seg.overlaps_interior(Rect{450, 0, 550, 800}));
+  }
+}
+
+TEST_F(TauPathTest, MinSegmentForcesLongerPath) {
+  // Fig. 5 scenario: with τ = 0 a staircase is shortest; with large τ the
+  // path must use fewer, longer segments — never shorter than τ each.
+  const std::vector<Rect> obs{{300, 0, 400, 450}, {500, 550, 600, 1000}};
+  TauPathSearch tiny({0, 0, 1000, 1000}, one_layer(obs, 1), 400);
+  TauPathSearch big({0, 0, 1000, 1000}, one_layer(obs, 200), 400);
+  const PointL src{100, 200, 0};
+  const std::vector<PointL> tgt{{900, 800, 0}};
+  const auto r1 = tiny.shortest(src, tgt);
+  const auto r2 = big.shortest(src, tgt);
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_LE(r1->length, r2->length);
+  for (std::size_t i = 1; i < r2->points.size(); ++i) {
+    EXPECT_GE(l1_dist(r2->points[i - 1].pt(), r2->points[i].pt()), 200);
+  }
+}
+
+TEST_F(TauPathTest, ViaToSecondLayer) {
+  TauLayer l0;
+  l0.tau = 100;
+  l0.pref = Dir::kHorizontal;
+  l0.obstacles = {{200, 0, 300, 1000}};  // full wall on layer 0
+  TauLayer l1;
+  l1.tau = 100;
+  l1.pref = Dir::kVertical;
+  TauPathSearch search({0, 0, 1000, 1000}, {l0, l1}, 400);
+  const PointL src{100, 500, 0};
+  const std::vector<PointL> tgt{{900, 500, 0}};
+  const auto r = search.shortest(src, tgt);
+  ASSERT_TRUE(r.has_value());
+  // Must hop to layer 1 to cross the wall (cost includes 2 vias) or stay if
+  // target reachable; wall is full-height so vias are required.
+  bool uses_layer1 = false;
+  for (const PointL& p : r->points) uses_layer1 |= p.layer == 1;
+  EXPECT_TRUE(uses_layer1);
+}
+
+TEST_F(TauPathTest, AllPathsReturnsMultipleTargets) {
+  TauPathSearch search({0, 0, 1000, 1000}, one_layer({}, 100), 400);
+  const PointL src{500, 500, 0};
+  const std::vector<PointL> tgt{{200, 500, 0}, {800, 500, 0}, {500, 200, 0}};
+  const auto rs = search.all_paths(src, tgt, 8);
+  EXPECT_EQ(rs.size(), 3u);
+  // Cheapest first.
+  for (std::size_t i = 1; i < rs.size(); ++i) {
+    EXPECT_LE(rs[i - 1].cost, rs[i].cost);
+  }
+}
+
+TEST_F(TauPathTest, NoPathWhenWalledIn) {
+  // Source fully enclosed by obstacles.
+  const std::vector<Rect> obs{{0, 0, 1000, 400},
+                              {0, 600, 1000, 1000},
+                              {0, 400, 400, 600},
+                              {600, 400, 1000, 600}};
+  TauPathSearch search({0, 0, 1000, 1000}, one_layer(obs, 100), 400);
+  const PointL src{500, 500, 0};
+  const std::vector<PointL> tgt{{50, 50, 0}};
+  EXPECT_FALSE(search.shortest(src, tgt).has_value());
+}
+
+}  // namespace
+}  // namespace bonn

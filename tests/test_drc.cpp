@@ -1,0 +1,202 @@
+// Distance rule checking module tests (§3.4) and the full-chip audit.
+// Includes the differential property: forbidden_runs must agree with
+// per-position check_shape along a track.
+#include <gtest/gtest.h>
+
+#include "src/db/instance_gen.hpp"
+#include "src/drc/audit.hpp"
+#include "src/drc/checker.hpp"
+#include "src/util/rng.hpp"
+
+namespace bonn {
+namespace {
+
+class DrcTest : public ::testing::Test {
+ protected:
+  DrcTest()
+      : tech_(Tech::make_test(4)),
+        grid_(tech_, {0, 0, 8000, 8000}),
+        checker_(tech_, grid_) {}
+
+  Shape wire(Rect r, int layer, int net,
+             ShapeKind kind = ShapeKind::kWire) const {
+    return Shape{r, global_of_wiring(layer), kind, 0, net};
+  }
+
+  Tech tech_;
+  ShapeGrid grid_;
+  DrcChecker checker_;
+};
+
+TEST_F(DrcTest, EmptyGridAllows) {
+  EXPECT_TRUE(checker_.check_shape(wire({100, 100, 300, 150}, 0, 1)).allowed);
+}
+
+TEST_F(DrcTest, SpacingViolationDetected) {
+  grid_.insert(wire({0, 0, 500, 50}, 0, 1), kStandard);
+  // 49 gap < 50 spacing: violation.
+  auto pc = checker_.check_shape(wire({0, 99, 500, 149}, 0, 2));
+  EXPECT_FALSE(pc.allowed);
+  ASSERT_EQ(pc.blocking_nets.size(), 1u);
+  EXPECT_EQ(pc.blocking_nets[0], 1);
+  EXPECT_EQ(pc.min_blocker_ripup, kStandard);
+  EXPECT_TRUE(pc.rippable(kStandard));
+  EXPECT_FALSE(pc.rippable(kStandard + 1));
+  // 50 gap: legal.
+  EXPECT_TRUE(checker_.check_shape(wire({0, 100, 500, 150}, 0, 2)).allowed);
+}
+
+TEST_F(DrcTest, SameNetExempt) {
+  grid_.insert(wire({0, 0, 500, 50}, 0, 1), kStandard);
+  EXPECT_TRUE(checker_.check_shape(wire({0, 20, 500, 70}, 0, 1)).allowed);
+  EXPECT_FALSE(checker_.check_shape(wire({0, 20, 500, 70}, 0, 2)).allowed);
+}
+
+TEST_F(DrcTest, FixedBlockerNotRippable) {
+  grid_.insert(wire({0, 0, 500, 50}, 0, -1, ShapeKind::kBlockage), kFixed);
+  auto pc = checker_.check_shape(wire({0, 60, 500, 110}, 0, 2));
+  EXPECT_FALSE(pc.allowed);
+  EXPECT_EQ(pc.min_blocker_ripup, kFixed);
+  EXPECT_TRUE(pc.blocking_nets.empty());
+  EXPECT_FALSE(pc.rippable(kStandard));
+}
+
+TEST_F(DrcTest, WideMetalNeedsMoreSpace) {
+  // A wide shape (150) across cells: rule width survives clipping.
+  grid_.insert(wire({0, 0, 1000, 150}, 0, 1), kStandard);
+  // 60 gap is fine for 50-spacing but violates the 80 wide-metal row.
+  auto pc = checker_.check_shape(wire({0, 210, 1000, 260}, 0, 2));
+  EXPECT_FALSE(pc.allowed);
+  // 80 gap with a *short* parallel run (prl < 400) satisfies the 80 row.
+  EXPECT_TRUE(checker_.check_shape(wire({0, 230, 390, 280}, 0, 2)).allowed);
+  // 80 gap with a long parallel run hits the 120 row: violation.
+  EXPECT_FALSE(checker_.check_shape(wire({0, 230, 1000, 280}, 0, 2)).allowed);
+  // 120 gap with a long run is legal.
+  EXPECT_TRUE(checker_.check_shape(wire({0, 270, 1000, 320}, 0, 2)).allowed);
+}
+
+TEST_F(DrcTest, ViaCutRules) {
+  const Shape cut{{1000, 1000, 1050, 1050}, global_of_via(0),
+                  ShapeKind::kViaCut, 0, 1};
+  grid_.insert(cut, kStandard);
+  // Cut spacing 60: a cut 40 away violates.
+  Shape near_cut{{1090, 1000, 1140, 1050}, global_of_via(0),
+                 ShapeKind::kViaCut, 0, 2};
+  EXPECT_FALSE(checker_.check_shape(near_cut).allowed);
+  Shape far_cut{{1110, 1000, 1160, 1050}, global_of_via(0),
+                ShapeKind::kViaCut, 0, 2};
+  EXPECT_TRUE(checker_.check_shape(far_cut).allowed);
+}
+
+TEST_F(DrcTest, CheckWireAndVia) {
+  grid_.insert(wire({0, 0, 2000, 50}, 0, 1), kStandard);
+  WireStick w{{0, 120}, {1000, 120}, 0};
+  // Centerline 120: shape [95, 145]; gap to 50 -> 45 < 50: violation.
+  EXPECT_FALSE(checker_.check_wire(w, 2, 0).allowed);
+  WireStick w2{{0, 130}, {1000, 130}, 0};
+  EXPECT_TRUE(checker_.check_wire(w2, 2, 0).allowed);
+  ViaStick v{{1000, 1000}, 0};
+  EXPECT_TRUE(checker_.check_via(v, 2, 0).allowed);
+}
+
+/// Differential property: forbidden_runs vs. brute-force check_shape per
+/// position.  forbidden_runs is allowed to be *more* conservative (swept
+/// run-length assumption), never less.
+TEST_F(DrcTest, ForbiddenRunsMatchPointChecks) {
+  Rng rng(17);
+  for (int iter = 0; iter < 12; ++iter) {
+    // Fresh scene per iteration.
+    ShapeGrid grid(tech_, {0, 0, 8000, 8000});
+    DrcChecker checker(tech_, grid);
+    std::vector<Shape> scene;
+    for (int i = 0; i < 6; ++i) {
+      const Coord x = rng.range(0, 3500);
+      const Coord y = rng.range(800, 1400);
+      scene.push_back(wire({x, y, x + rng.range(50, 800), y + rng.range(40, 120)},
+                           0, static_cast<int>(rng.range(1, 4))));
+    }
+    for (const Shape& s : scene) grid.insert(s, kStandard);
+
+    const WireModel& model = tech_.wire_model(0, 0, true);
+    const Coord cross = rng.range(900, 1300);
+    const Interval bound{0, 4000};
+    const auto runs = checker.forbidden_runs(global_of_wiring(0), model,
+                                             /*line_horizontal=*/true, cross,
+                                             bound, /*net=*/-3,
+                                             ShapeKind::kWire,
+                                             /*swept=*/false);
+    auto forbidden_at = [&](Coord c) {
+      for (const ForbiddenRun& r : runs) {
+        if (r.along.contains(c)) return true;
+      }
+      return false;
+    };
+    for (Coord c = bound.lo; c <= bound.hi; c += 37) {
+      Shape cand;
+      cand.rect = model.shape({c, cross});
+      cand.global_layer = global_of_wiring(0);
+      cand.kind = ShapeKind::kWire;
+      cand.net = -3;
+      const bool blocked = !checker.check_shape(cand).allowed;
+      if (blocked) {
+        EXPECT_TRUE(forbidden_at(c))
+            << "missed violation at " << c << " cross " << cross
+            << " iter " << iter;
+      }
+      // Conservative direction: point-placement forbidden_runs with
+      // swept=false should agree exactly on these simple scenes.
+      if (forbidden_at(c)) {
+        EXPECT_TRUE(blocked) << "false positive at " << c << " iter " << iter;
+      }
+    }
+  }
+}
+
+TEST(Audit, TinyChipUnroutedHasOpens) {
+  const Chip chip = make_tiny_chip(4);
+  RoutingResult empty(chip.num_nets());
+  const auto report = audit_routing(chip, empty);
+  // Each k-pin net contributes k-1 opens.
+  std::int64_t expect_opens = 0;
+  for (const Net& n : chip.nets) expect_opens += n.degree() - 1;
+  EXPECT_EQ(report.opens, expect_opens);
+  EXPECT_EQ(report.diffnet_violations, 0);
+}
+
+TEST(Audit, DetectsPlantedViolations) {
+  Chip chip = make_tiny_chip(4);
+  RoutingResult result(chip.num_nets());
+  // Connect net 2's two pins ({600,600} and {700,2800} pin rects are 50x100
+  // at layer 0) with wires, deliberately near net 0's pin at {200,200}.
+  RoutedPath p;
+  p.net = 2;
+  p.wiretype = 0;
+  p.wires.push_back({{625, 650}, {625, 2850}, 0});  // vertical jog-ish wire
+  p.wires.push_back({{625, 2850}, {725, 2850}, 0});
+  result.net_paths[2].push_back(p);
+  const auto report = audit_routing(chip, result);
+  EXPECT_EQ(report.opens, 2 + 1 + 0 + 3);  // nets 0,1,3 unrouted; net 2 done
+  // The long vertical wire passes blockage at x in [1500..2100]? No — x=625.
+  // No diff-net violation expected here.
+  EXPECT_EQ(report.diffnet_violations, 0);
+  // Min segment: the 100-long second stick is exactly tau -> no violation.
+  EXPECT_EQ(report.min_seg_violations, 0);
+}
+
+TEST(Audit, MinAreaViolationCounted) {
+  Chip chip = make_tiny_chip(4);
+  RoutingResult result(chip.num_nets());
+  RoutedPath p;
+  p.net = 0;
+  p.wiretype = 0;
+  // A lone tiny stick far from everything: metal area (2*45+100)*50 = 9500
+  // >= 7500 OK; make it degenerate instead: single point stick.
+  p.wires.push_back({{3800, 3800}, {3800, 3800}, 2});
+  result.net_paths[0].push_back(p);
+  const auto report = audit_routing(chip, result);
+  // Degenerate stick: shape 90x50 = 4500 < 7500.
+  EXPECT_GE(report.min_area_violations, 1);
+}
+
+}  // namespace
+}  // namespace bonn

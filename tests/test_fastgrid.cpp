@@ -1,0 +1,213 @@
+// Fast grid tests (§3.6): legality words must agree with the rule checker,
+// incremental updates must match full rebuilds, gap bits must flag off-track
+// blockers between stations.
+#include <gtest/gtest.h>
+
+#include "src/db/instance_gen.hpp"
+#include "src/detailed/routing_space.hpp"
+#include "src/util/rng.hpp"
+
+namespace bonn {
+namespace {
+
+class FastGridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chip_ = make_tiny_chip(4);
+    rs_ = std::make_unique<RoutingSpace>(chip_);
+  }
+
+  /// Reference: is a preferred-direction degenerate wire of wiretype wt
+  /// placeable at vertex v (no ripup), per the rule checker?
+  bool checker_wire_ok(const TrackVertex& v, int wt) {
+    const Point p = rs_->tg().vertex_pt(v);
+    Shape cand;
+    cand.rect = chip_.tech.wire_model(wt, v.layer, true).shape(p);
+    cand.global_layer = global_of_wiring(v.layer);
+    cand.kind = ShapeKind::kWire;
+    cand.net = -3;
+    return rs_->checker().check_shape(cand).allowed;
+  }
+
+  Chip chip_;
+  std::unique_ptr<RoutingSpace> rs_;
+};
+
+TEST_F(FastGridTest, FreeSpaceIsFree) {
+  const TrackVertex v = rs_->tg().nearest_vertex(1, {3000, 3500});
+  ASSERT_TRUE(v.valid());
+  const std::uint64_t w = rs_->fast().word(v.layer, v.track, v.station);
+  EXPECT_EQ(FastGrid::wiring_field(w, 0, FastGrid::kWireF), FastGrid::kFree);
+  EXPECT_EQ(FastGrid::wiring_field(w, 0, FastGrid::kJogF), FastGrid::kFree);
+  EXPECT_FALSE(FastGrid::gap_bit(w, 0));
+}
+
+TEST_F(FastGridTest, BlockageBlocks) {
+  // make_tiny_chip has a fixed blockage {1500,1200,2100,2600} on layers 0,1.
+  const TrackVertex v = rs_->tg().nearest_vertex(1, {1800, 1900});
+  ASSERT_TRUE(v.valid());
+  const std::uint64_t w = rs_->fast().word(v.layer, v.track, v.station);
+  EXPECT_EQ(FastGrid::wiring_field(w, 0, FastGrid::kWireF), 0);  // fixed
+  EXPECT_FALSE(FastGrid::passes(
+      FastGrid::wiring_field(w, 0, FastGrid::kWireF), kStandard));
+}
+
+/// The central property: for a sample of vertices, the fast grid's wire
+/// legality equals the checker's verdict.  Exact equality needs a scene
+/// without wide shapes (the fast grid assumes maximal run-length for swept
+/// wires, §3.1's conservative modelling), so we clear the tiny chip's macro
+/// blockage and use narrow wires only.
+TEST_F(FastGridTest, WireFieldMatchesChecker) {
+  chip_.blockages.clear();
+  rs_ = std::make_unique<RoutingSpace>(chip_);
+  RoutedPath p;
+  p.net = 0;
+  p.wiretype = 0;
+  p.wires.push_back({{500, 1000}, {2500, 1000}, 0});
+  p.wires.push_back({{900, 400}, {900, 2000}, 1});
+  p.vias.push_back({{900, 1000}, 0});
+  rs_->commit_path(p);
+
+  Rng rng(3);
+  for (int layer = 0; layer < 2; ++layer) {
+    const auto& tracks = rs_->tg().tracks(layer);
+    const auto& stations = rs_->tg().stations(layer);
+    for (int iter = 0; iter < 150; ++iter) {
+      const TrackVertex v{layer,
+                          static_cast<int>(rng.below(tracks.size())),
+                          static_cast<int>(rng.below(stations.size()))};
+      const std::uint64_t w = rs_->fast().word(v.layer, v.track, v.station);
+      const bool fast_free =
+          FastGrid::wiring_field(w, 0, FastGrid::kWireF) == FastGrid::kFree;
+      const bool chk = checker_wire_ok(v, 0);
+      EXPECT_EQ(fast_free, chk)
+          << "layer " << layer << " track " << v.track << " station "
+          << v.station << " at (" << rs_->tg().vertex_pt(v).x << ","
+          << rs_->tg().vertex_pt(v).y << ")";
+    }
+  }
+}
+
+/// One-sided property on the full chip (wide macro blockage present): the
+/// fast grid is never optimistic — a free word implies the checker agrees.
+TEST_F(FastGridTest, FreeImpliesCheckerFree) {
+  Rng rng(4);
+  for (int layer = 0; layer < 2; ++layer) {
+    const auto& tracks = rs_->tg().tracks(layer);
+    const auto& stations = rs_->tg().stations(layer);
+    for (int iter = 0; iter < 150; ++iter) {
+      const TrackVertex v{layer,
+                          static_cast<int>(rng.below(tracks.size())),
+                          static_cast<int>(rng.below(stations.size()))};
+      const std::uint64_t w = rs_->fast().word(v.layer, v.track, v.station);
+      if (FastGrid::wiring_field(w, 0, FastGrid::kWireF) == FastGrid::kFree) {
+        EXPECT_TRUE(checker_wire_ok(v, 0))
+            << "fast grid optimistic at layer " << layer << " ("
+            << rs_->tg().vertex_pt(v).x << "," << rs_->tg().vertex_pt(v).y
+            << ")";
+      }
+    }
+  }
+}
+
+TEST_F(FastGridTest, InsertRemoveRestoresWords) {
+  const TrackVertex v = rs_->tg().nearest_vertex(1, {3000, 3000});
+  const Point p = rs_->tg().vertex_pt(v);
+  const std::uint64_t before = rs_->fast().word(v.layer, v.track, v.station);
+
+  Shape s{Rect{p.x - 200, p.y - 25, p.x + 200, p.y + 25},
+          global_of_wiring(1), ShapeKind::kWire, 0, 9};
+  rs_->insert_shape(s, kStandard);
+  const std::uint64_t during = rs_->fast().word(v.layer, v.track, v.station);
+  EXPECT_NE(before, during);
+  EXPECT_EQ(FastGrid::wiring_field(during, 0, FastGrid::kWireF), kStandard);
+
+  rs_->remove_shape(s, kStandard);
+  const std::uint64_t after = rs_->fast().word(v.layer, v.track, v.station);
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(FastGridTest, ViaLevelReflectsBlockedPad) {
+  const TrackVertex v = rs_->tg().nearest_vertex(0, {3000, 3000});
+  ASSERT_TRUE(rs_->tg().via_up(v).valid());
+  EXPECT_EQ(rs_->fast().via_level(v, 0), FastGrid::kFree);
+  // Block the top pad location on layer 1.
+  const Point p = rs_->tg().vertex_pt(v);
+  Shape s{Rect{p.x - 60, p.y - 60, p.x + 60, p.y + 60}, global_of_wiring(1),
+          ShapeKind::kWire, 0, 9};
+  rs_->insert_shape(s, kStandard);
+  EXPECT_EQ(rs_->fast().via_level(v, 0), kStandard);
+  rs_->remove_shape(s, kStandard);
+  EXPECT_EQ(rs_->fast().via_level(v, 0), FastGrid::kFree);
+}
+
+TEST_F(FastGridTest, GapBitForOfftrackBlocker) {
+  // Place a small blocker strictly between two stations of a track on
+  // layer 0 (stations are neighbour-layer track coordinates, 100 apart);
+  // it must set the gap bit without necessarily blocking the stations.
+  const auto& tracks = rs_->tg().tracks(0);
+  const auto& stations = rs_->tg().stations(0);
+  ASSERT_GT(tracks.size(), 30u);
+  ASSERT_GT(stations.size(), 31u);
+  const int ti = 30;
+  const int si = 30;
+  const Coord y = tracks[static_cast<std::size_t>(ti)];
+  const Coord x0 = stations[static_cast<std::size_t>(si)];
+  const Coord x1 = stations[static_cast<std::size_t>(si) + 1];
+  if (x1 - x0 < 90) GTEST_SKIP() << "stations too close for this scene";
+  // Tiny blocker centred between the stations, same track line.
+  const Coord mid = (x0 + x1) / 2;
+  Shape s{Rect{mid - 2, y - 10, mid + 2, y + 10}, global_of_wiring(0),
+          ShapeKind::kBlockage, 0, -1};
+  rs_->insert_shape(s, kFixed);
+  const std::uint64_t w = rs_->fast().word(0, ti, si);
+  // Either the station itself got blocked (blocker reach) or the gap bit is
+  // set — the edge must NOT look silently usable.
+  const bool station_blocked =
+      FastGrid::wiring_field(w, 0, FastGrid::kWireF) != FastGrid::kFree;
+  EXPECT_TRUE(station_blocked || FastGrid::gap_bit(w, 0));
+}
+
+/// Incremental consistency: a sequence of inserts/removes leaves exactly the
+/// same words as a full rebuild.
+TEST_F(FastGridTest, IncrementalMatchesRebuild) {
+  Rng rng(77);
+  std::vector<Shape> shapes;
+  for (int i = 0; i < 30; ++i) {
+    const Coord x = rng.range(200, 3400);
+    const Coord y = rng.range(200, 3400);
+    const int layer = static_cast<int>(rng.range(0, 3));
+    shapes.push_back(Shape{Rect{x, y, x + rng.range(30, 600), y + rng.range(30, 90)},
+                           global_of_wiring(layer), ShapeKind::kWire, 0,
+                           static_cast<int>(rng.range(0, 5))});
+  }
+  for (const Shape& s : shapes) rs_->insert_shape(s, kStandard);
+  for (int i = 0; i < 10; ++i) {
+    rs_->remove_shape(shapes[static_cast<std::size_t>(i)], kStandard);
+  }
+
+  // Snapshot a sample of words, then rebuild and compare.
+  struct Sample {
+    TrackVertex v;
+    std::uint64_t word;
+  };
+  std::vector<Sample> samples;
+  for (int layer = 0; layer < 3; ++layer) {
+    const auto& tracks = rs_->tg().tracks(layer);
+    const auto& stations = rs_->tg().stations(layer);
+    for (int k = 0; k < 100; ++k) {
+      TrackVertex v{layer, static_cast<int>(rng.below(tracks.size())),
+                    static_cast<int>(rng.below(stations.size()))};
+      samples.push_back({v, rs_->fast().word(v.layer, v.track, v.station)});
+    }
+  }
+  rs_->mutable_fast().rebuild();
+  for (const Sample& s : samples) {
+    EXPECT_EQ(rs_->fast().word(s.v.layer, s.v.track, s.v.station), s.word)
+        << "layer " << s.v.layer << " track " << s.v.track << " station "
+        << s.v.station;
+  }
+}
+
+}  // namespace
+}  // namespace bonn

@@ -1,0 +1,283 @@
+// Global routing tests (§2): graph & capacities, stacked-via estimator,
+// resource model (Fig. 1 convexity), Steiner oracle (Alg. 1), resource
+// sharing (Alg. 2), randomized rounding + rip-up (§2.4).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "src/db/instance_gen.hpp"
+#include "src/detailed/routing_space.hpp"
+#include "src/global/global_router.hpp"
+#include "src/geom/rsmt.hpp"
+#include "src/global/stacked_vias.hpp"
+
+namespace bonn {
+namespace {
+
+class GlobalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ChipParams p;
+    p.tiles_x = 4;
+    p.tiles_y = 4;
+    p.tracks_per_tile = 30;
+    p.num_nets = 120;
+    p.num_macros = 1;
+    p.seed = 5;
+    chip_ = generate_chip(p);
+    rs_ = std::make_unique<RoutingSpace>(chip_);
+    gr_ = std::make_unique<GlobalRouter>(chip_, rs_->tg(), rs_->fast(), 4, 4);
+  }
+  Chip chip_;
+  std::unique_ptr<RoutingSpace> rs_;
+  std::unique_ptr<GlobalRouter> gr_;
+};
+
+TEST_F(GlobalFixture, GraphStructure) {
+  const GlobalGraph& g = gr_->graph();
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 4);
+  EXPECT_EQ(g.layers(), 6);
+  EXPECT_EQ(g.num_vertices(), 4 * 4 * 6);
+  // Every vertex has at least one incident edge; edge endpoints consistent.
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_FALSE(g.incident(v).empty()) << "vertex " << v;
+    for (int e : g.incident(v)) {
+      const GlobalEdge& ge = g.edge(e);
+      EXPECT_TRUE(ge.u == v || ge.v == v);
+    }
+  }
+}
+
+TEST_F(GlobalFixture, CapacitiesPositiveAndBounded) {
+  const GlobalGraph& g = gr_->graph();
+  double total_cap = 0;
+  for (const GlobalEdge& e : g.edges()) {
+    EXPECT_GE(e.capacity, 0.0);
+    if (!e.via) {
+      // At most ~tracks_per_tile wires between adjacent tiles.
+      EXPECT_LE(e.capacity, 40.0);
+    }
+    total_cap += e.capacity;
+  }
+  EXPECT_GT(total_cap, 100.0);
+}
+
+TEST_F(GlobalFixture, TileMapping) {
+  const GlobalGraph& g = gr_->graph();
+  const auto [tx, ty] = g.tile_of(chip_.die.center());
+  EXPECT_TRUE(tx == 1 || tx == 2);
+  EXPECT_TRUE(ty == 1 || ty == 2);
+  EXPECT_TRUE(g.tile_rect(tx, ty).contains(chip_.die.center()));
+}
+
+TEST(StackedVias, MonotoneAndConcave) {
+  StackedViaModel m;
+  double prev = 0;
+  double prev_gain = 1e9;
+  for (int k = 1; k <= 8; ++k) {
+    const double occ = expected_column_occupancy(m, k);
+    EXPECT_GE(occ, prev);  // monotone in k
+    const double gain = occ - prev;
+    EXPECT_LE(gain, prev_gain + 0.15);  // sublinear growth (tolerance: MC)
+    prev = occ;
+    prev_gain = gain;
+  }
+  EXPECT_GT(expected_column_occupancy(m, 1), 0.9);
+  EXPECT_LE(stacked_via_capacity_factor(m, 4), 1.0);
+  EXPECT_GT(stacked_via_capacity_factor(m, 4), 0.0);
+}
+
+TEST_F(GlobalFixture, ResourceFunctionsConvexDecreasing) {
+  // Fig. 1: power & yield decreasing convex in extra space, space linear.
+  for (int s = 0; s < 3; ++s) {
+    const double p0 = ResourceModel::gamma_power(1.0, 1.0, s);
+    const double p1 = ResourceModel::gamma_power(1.0, 1.0, s + 1);
+    const double p2 = ResourceModel::gamma_power(1.0, 1.0, s + 2);
+    EXPECT_GT(p0, p1);
+    EXPECT_GE((p0 - p1), (p1 - p2));  // convexity
+    const double y0 = ResourceModel::gamma_yield(1.0, 1.0, s);
+    const double y1 = ResourceModel::gamma_yield(1.0, 1.0, s + 1);
+    EXPECT_GT(y0, y1);
+  }
+}
+
+TEST_F(GlobalFixture, EdgeCostPicksExtraSpaceWhenCheap) {
+  ResourceModel model(gr_->graph(), chip_, 3);
+  std::vector<double> y(static_cast<std::size_t>(model.num_resources()), 1.0);
+  // Find a planar edge with decent capacity.
+  int e = -1;
+  for (int i = 0; i < gr_->graph().num_edges(); ++i) {
+    if (!gr_->graph().edge(i).via && gr_->graph().edge(i).capacity > 10) {
+      e = i;
+      break;
+    }
+  }
+  ASSERT_GE(e, 0);
+  // With cheap space (low edge price) and expensive power, extra space wins.
+  y[static_cast<std::size_t>(model.space_resource(e))] = 0.01;
+  y[static_cast<std::size_t>(model.power_resource())] = 100.0;
+  const auto [cost_cheap, s_cheap] = model.edge_cost(y, 0, e);
+  EXPECT_GT(s_cheap, 0);
+  // With expensive space, s = 0.
+  y[static_cast<std::size_t>(model.space_resource(e))] = 1000.0;
+  const auto [cost_tight, s_tight] = model.edge_cost(y, 0, e);
+  EXPECT_EQ(s_tight, 0);
+  EXPECT_GT(cost_tight, cost_cheap);
+}
+
+TEST_F(GlobalFixture, OracleConnectsTerminals) {
+  ResourceModel model(gr_->graph(), chip_, 2);
+  SteinerOracle oracle(gr_->graph(), model);
+  SteinerOracle::Workspace ws;
+  std::vector<double> y(static_cast<std::size_t>(model.num_resources()), 1.0);
+
+  int tested = 0;
+  for (const Net& n : chip_.nets) {
+    const auto& terms = gr_->net_vertices(n.id);
+    if (terms.size() < 2) continue;
+    const SteinerSolution sol = oracle.solve(terms, n.id, y, ws);
+    EXPECT_FALSE(sol.edges.empty());
+    // Check connectivity: union-find over solution edges must connect all
+    // terminals.
+    std::map<int, int> parent;
+    std::function<int(int)> find = [&](int x) {
+      if (!parent.count(x)) parent[x] = x;
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const auto& [e, s] : sol.edges) {
+      (void)s;
+      const GlobalEdge& ge = gr_->graph().edge(e);
+      parent[find(ge.u)] = find(ge.v);
+    }
+    const int root = find(terms[0]);
+    for (int t : terms) EXPECT_EQ(find(t), root) << "net " << n.id;
+    if (++tested >= 25) break;
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST_F(GlobalFixture, OracleTwoTerminalOptimal) {
+  // For 2-terminal nets Algorithm 1 is a plain shortest path: its cost must
+  // match an independent Dijkstra.
+  ResourceModel model(gr_->graph(), chip_, 0);
+  SteinerOracle oracle(gr_->graph(), model);
+  SteinerOracle::Workspace ws;
+  std::vector<double> y(static_cast<std::size_t>(model.num_resources()), 1.0);
+  const GlobalGraph& g = gr_->graph();
+
+  int tested = 0;
+  for (const Net& n : chip_.nets) {
+    const auto& terms = gr_->net_vertices(n.id);
+    if (terms.size() != 2) continue;
+    const SteinerSolution sol = oracle.solve(terms, n.id, y, ws);
+    // Reference Dijkstra over the full graph.
+    std::vector<double> dist(static_cast<std::size_t>(g.num_vertices()),
+                             1e18);
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>, std::greater<>>
+        pq;
+    dist[static_cast<std::size_t>(terms[0])] = 0;
+    pq.push({0, terms[0]});
+    while (!pq.empty()) {
+      auto [d, v] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<std::size_t>(v)]) continue;
+      for (int e : g.incident(v)) {
+        const int u = g.other_end(e, v);
+        const double c = model.edge_cost(y, n.id, e).first;
+        if (dist[static_cast<std::size_t>(u)] > d + c) {
+          dist[static_cast<std::size_t>(u)] = d + c;
+          pq.push({d + c, u});
+        }
+      }
+    }
+    EXPECT_NEAR(sol.cost, dist[static_cast<std::size_t>(terms[1])], 1e-9)
+        << "net " << n.id;
+    if (++tested >= 10) break;
+  }
+  EXPECT_GT(tested, 0);
+}
+
+TEST_F(GlobalFixture, ResourceSharingProducesConvexCombination) {
+  GlobalRouterParams params;
+  params.sharing.phases = 4;
+  GlobalRoutingStats stats;
+  const auto routes = gr_->route(params, &stats);
+  ASSERT_EQ(routes.size(), chip_.nets.size());
+  EXPECT_GT(stats.oracle_calls, 0u);
+  EXPECT_GT(stats.lambda, 0.0);
+  EXPECT_LT(stats.lambda, 3.0);  // near-feasible on this easy instance
+  EXPECT_GT(stats.netlength, 0);
+  EXPECT_GT(stats.via_count, 0);
+  EXPECT_GE(stats.alg2_seconds, 0.0);
+  // Every non-local net got a route.
+  for (const Net& n : chip_.nets) {
+    if (!gr_->is_local(n.id)) {
+      EXPECT_FALSE(routes[static_cast<std::size_t>(n.id)].edges.empty())
+          << "net " << n.id;
+    }
+  }
+  // Rounding + R&R keeps overflow tiny on this underutilized instance.
+  EXPECT_LE(stats.overflowed_edges, 2);
+  // Oracle reuse fired (phases > 1).
+  EXPECT_GT(stats.oracle_reuses, 0u);
+}
+
+TEST_F(GlobalFixture, DetourBoundConstrainsCriticalNets) {
+  // §2.1: per-net resources bound the detour of critical nets.  With the
+  // bound on, no critical net's global route may exceed ~1.2x its Steiner
+  // length (in the effective-length metric the resource measures).
+  GlobalRouterParams params;
+  params.sharing.phases = 6;
+  params.detour_bound = 1.2;
+  GlobalRoutingStats stats;
+  const auto routes = gr_->route(params, &stats);
+  const double tile_len = 0.5 * (gr_->graph().tile_rect(0, 0).width() +
+                                 gr_->graph().tile_rect(0, 0).height());
+  int critical_checked = 0;
+  for (const Net& n : chip_.nets) {
+    if (n.weight <= 1.0 || gr_->is_local(n.id)) continue;
+    double eff = 0;
+    for (const auto& [e, s] : routes[static_cast<std::size_t>(n.id)].edges) {
+      (void)s;
+      const GlobalEdge& ge = gr_->graph().edge(e);
+      eff += ge.via ? 1.0 : static_cast<double>(ge.length) / tile_len;
+    }
+    const double steiner =
+        static_cast<double>(rsmt_length(chip_.net_terminals(n.id))) /
+            tile_len + 2.0;
+    // The fractional guarantee is λ-approximate; allow modest slack over
+    // the bound (rounding picks one support solution).
+    EXPECT_LE(eff, 1.2 * steiner * std::max(1.2, stats.lambda) + 1.0)
+        << "net " << n.id;
+    ++critical_checked;
+  }
+  EXPECT_GT(critical_checked, 0);
+}
+
+TEST_F(GlobalFixture, CorridorCoversRoute) {
+  GlobalRouterParams params;
+  params.sharing.phases = 2;
+  const auto routes = gr_->route(params, nullptr);
+  for (const Net& n : chip_.nets) {
+    const auto& sol = routes[static_cast<std::size_t>(n.id)];
+    if (sol.edges.empty()) continue;
+    const auto tiles = gr_->corridor(sol, 0);
+    EXPECT_FALSE(tiles.empty());
+    // Every pin anchor lies in some corridor tile (halo 0 covers terminals).
+    for (int pid : n.pins) {
+      const Point a = chip_.pins[static_cast<std::size_t>(pid)].anchor();
+      bool covered = false;
+      for (const Rect& t : tiles) covered |= t.contains(a);
+      EXPECT_TRUE(covered) << "net " << n.id << " pin " << pid;
+    }
+    break;  // one net suffices for this check
+  }
+}
+
+}  // namespace
+}  // namespace bonn

@@ -1,0 +1,209 @@
+// End-to-end flow tests (§5): BonnRoute flow and the ISR baseline on a small
+// generated chip, metrics, ISR global router, DRC cleanup.
+#include <gtest/gtest.h>
+
+#include "src/db/instance_gen.hpp"
+#include "src/geom/rsmt.hpp"
+#include "src/router/bonnroute.hpp"
+
+namespace bonn {
+namespace {
+
+ChipParams small_params() {
+  ChipParams p;
+  p.tiles_x = 4;
+  p.tiles_y = 4;
+  p.tracks_per_tile = 30;
+  p.num_nets = 60;
+  p.num_macros = 1;
+  p.seed = 9;
+  return p;
+}
+
+FlowParams fast_flow() {
+  FlowParams fp;
+  fp.tiles_x = 4;
+  fp.tiles_y = 4;
+  fp.global.sharing.phases = 3;
+  fp.detailed.rounds = 2;
+  fp.cleanup.max_reroutes = 50;
+  return fp;
+}
+
+TEST(InstanceGen, GeneratesValidChip) {
+  const Chip chip = generate_chip(small_params());
+  EXPECT_GT(chip.num_nets(), 40);
+  EXPECT_GT(chip.num_pins(), 80);
+  for (const Net& n : chip.nets) {
+    EXPECT_GE(n.degree(), 2) << n.name;
+    for (int pid : n.pins) {
+      const Pin& pin = chip.pins[static_cast<std::size_t>(pid)];
+      EXPECT_EQ(pin.net, n.id);
+      ASSERT_FALSE(pin.shapes.empty());
+      EXPECT_TRUE(chip.die.contains(pin.shapes[0].r)) << "pin off-die";
+    }
+  }
+  EXPECT_FALSE(chip.blockages.empty());
+  // Determinism.
+  const Chip chip2 = generate_chip(small_params());
+  ASSERT_EQ(chip2.num_nets(), chip.num_nets());
+  EXPECT_EQ(chip2.pins[5].shapes[0].r, chip.pins[5].shapes[0].r);
+}
+
+TEST(InstanceGen, PaperSuiteScalesUp) {
+  const auto suite = paper_chip_suite(100);
+  ASSERT_EQ(suite.size(), 8u);
+  EXPECT_LT(suite[0].num_nets, suite[7].num_nets);
+  EXPECT_GE(suite[7].num_nets, 7 * suite[0].num_nets);
+}
+
+TEST(Flows, BonnRouteFlowCompletes) {
+  const Chip chip = generate_chip(small_params());
+  RoutingResult result;
+  const FlowReport report = run_bonnroute_flow(chip, fast_flow(), &result);
+  EXPECT_GT(report.netlength, 0);
+  EXPECT_GT(report.vias, 0);
+  EXPECT_LE(report.drc.opens, chip.num_nets() / 10)
+      << "too many opens for the BonnRoute flow";
+  EXPECT_GT(report.global.oracle_calls, 0u);
+  EXPECT_GE(report.preroute_nets, 0);
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.memory_gb, 0.0);
+  EXPECT_EQ(report.net_lengths.size(), static_cast<std::size_t>(chip.num_nets()));
+}
+
+TEST(Flows, IsrFlowCompletes) {
+  const Chip chip = generate_chip(small_params());
+  RoutingResult result;
+  const FlowReport report = run_isr_flow(chip, fast_flow(), &result);
+  EXPECT_GT(report.netlength, 0);
+  EXPECT_GT(report.vias, 0);
+  EXPECT_GT(report.isr_global.netlength, 0);
+  EXPECT_LE(report.drc.opens, chip.num_nets() / 5);
+}
+
+TEST(Flows, BonnRouteBeatsIsrOnVias) {
+  // The headline comparison, scaled down: BonnRoute should not use more
+  // vias or netlength than the ISR baseline (paper: −20 % vias, −5 % WL).
+  const Chip chip = generate_chip(small_params());
+  const FlowReport br = run_bonnroute_flow(chip, fast_flow(), nullptr);
+  const FlowReport isr = run_isr_flow(chip, fast_flow(), nullptr);
+  EXPECT_LE(br.vias, isr.vias * 11 / 10) << "BR vias should not exceed ISR's";
+  EXPECT_LE(br.netlength, isr.netlength * 11 / 10);
+  EXPECT_LE(br.scenic.over_25, isr.scenic.over_25 + 2);
+}
+
+TEST(Metrics, ScenicCounting) {
+  const Chip chip = make_tiny_chip(4);
+  RoutingResult result(chip.num_nets());
+  // Net 2 (pins {600,600},{700,2800}): Steiner ~2300; route it with a huge
+  // detour.
+  RoutedPath p;
+  p.net = 2;
+  p.wiretype = 0;
+  p.wires.push_back({{625, 650}, {3525, 650}, 0});
+  p.wires.push_back({{3525, 650}, {3525, 2850}, 0});
+  p.wires.push_back({{725, 2850}, {3525, 2850}, 0});
+  result.net_paths[2].push_back(p);
+  const ScenicStats s = count_scenic(chip, result, /*length_floor=*/1000);
+  EXPECT_EQ(s.over_25, 1);
+  EXPECT_EQ(s.over_50, 1);
+  // With a floor above the routed length nothing counts.
+  const ScenicStats s2 = count_scenic(chip, result, 100000);
+  EXPECT_EQ(s2.over_25, 0);
+}
+
+TEST(Metrics, TerminalClassTable) {
+  const Chip chip = make_tiny_chip(4);
+  std::vector<Coord> lengths(static_cast<std::size_t>(chip.num_nets()), 0);
+  for (const Net& n : chip.nets) {
+    lengths[static_cast<std::size_t>(n.id)] =
+        rsmt_length(chip.net_terminals(n.id)) * 11 / 10;
+  }
+  const auto rows = terminal_class_table(chip, lengths);
+  ASSERT_EQ(rows.size(), 6u);
+  // Tiny chip: two 2-pin nets, one 3-pin, one 4-pin.
+  EXPECT_EQ(rows[0].nets, 2);
+  EXPECT_EQ(rows[1].nets, 1);
+  EXPECT_EQ(rows[2].nets, 1);
+  EXPECT_NEAR(rows[0].ratio(), 1.1, 0.01);
+}
+
+TEST(Metrics, PeakMemoryPositive) { EXPECT_GT(peak_memory_gb(), 0.0); }
+
+TEST(IsrGlobal, RoutesAndAssignsLayers) {
+  const Chip chip = generate_chip(small_params());
+  RoutingSpace rs(chip);
+  GlobalRouter gr(chip, rs.tg(), rs.fast(), 4, 4);
+  IsrGlobalRouter isr(chip, gr);
+  IsrGlobalStats stats;
+  const auto routes = isr.route(IsrGlobalParams{}, &stats);
+  ASSERT_EQ(routes.size(), chip.nets.size());
+  EXPECT_GT(stats.netlength, 0);
+  EXPECT_GT(stats.via_count, 0);
+  // Connectivity of each route (same check as the oracle test).
+  int checked = 0;
+  for (const Net& n : chip.nets) {
+    if (gr.is_local(n.id)) continue;
+    const auto& sol = routes[static_cast<std::size_t>(n.id)];
+    EXPECT_FALSE(sol.edges.empty()) << "net " << n.id;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(IsrGlobal, LayerAssignmentMatchesDirections) {
+  const Chip chip = generate_chip(small_params());
+  RoutingSpace rs(chip);
+  GlobalRouter gr(chip, rs.tg(), rs.fast(), 4, 4);
+  IsrGlobalRouter isr(chip, gr);
+  const auto routes = isr.route(IsrGlobalParams{}, nullptr);
+  // Every planar edge of every route must run in its layer's preferred
+  // direction (the 2D solution was legalized per direction).
+  for (const auto& sol : routes) {
+    for (const auto& [e, sx] : sol.edges) {
+      (void)sx;
+      const GlobalEdge& ge = gr.graph().edge(e);
+      if (ge.via) continue;
+      const bool horiz = gr.graph().tx_of(ge.u) != gr.graph().tx_of(ge.v);
+      EXPECT_EQ(horiz, chip.tech.pref(ge.layer) == Dir::kHorizontal);
+    }
+  }
+}
+
+TEST(Audit, NotchExemptsViaPads) {
+  // A same-net via pad 30 away from a parallel wire must NOT count as a
+  // notch (pads are governed by enclosure rules); two same-net *wires* 30
+  // apart must.
+  Chip chip = make_tiny_chip(4);
+  RoutingResult result(chip.num_nets());
+  RoutedPath p;
+  p.net = 0;
+  p.wiretype = 0;
+  p.wires.push_back({{3000, 3000}, {3400, 3000}, 0});
+  p.vias.push_back({{3000, 3000}, 0});  // pad overhangs the wire by 10
+  result.net_paths[0].push_back(p);
+  const auto r1 = audit_routing(chip, result);
+  const auto base_notches = r1.notch_violations;
+  // Now add a parallel same-net wire 30 from the first (gap < 40).
+  RoutedPath q;
+  q.net = 0;
+  q.wiretype = 0;
+  q.wires.push_back({{3000, 3080}, {3400, 3080}, 0});  // centres 80 apart:
+  // drawn half-width 25 -> gap 30 < 40 -> notch between the two wires.
+  result.net_paths[0].push_back(q);
+  const auto r2 = audit_routing(chip, result);
+  EXPECT_GT(r2.notch_violations, base_notches);
+}
+
+TEST(Flows, LayerCorridorKeepsConnectivity) {
+  // The §4.4 layer restriction must not cost completions.
+  const Chip chip = generate_chip(small_params());
+  FlowParams fp = fast_flow();
+  RoutingResult result;
+  const FlowReport r = run_bonnroute_flow(chip, fp, &result);
+  EXPECT_LE(r.drc.opens, 3) << "layer corridors strand nets";
+}
+
+}  // namespace
+}  // namespace bonn

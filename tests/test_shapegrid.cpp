@@ -1,0 +1,139 @@
+// Shape grid tests (§3.3): insert/query/remove round trips, configuration
+// interning, interval compression.
+#include <gtest/gtest.h>
+
+#include "src/shapegrid/shape_grid.hpp"
+#include "src/util/rng.hpp"
+
+namespace bonn {
+namespace {
+
+class ShapeGridTest : public ::testing::Test {
+ protected:
+  ShapeGridTest() : tech_(Tech::make_test(4)), grid_(tech_, {0, 0, 8000, 8000}) {}
+  Tech tech_;
+  ShapeGrid grid_;
+};
+
+Shape wire_shape(Rect r, int layer, int net) {
+  return Shape{r, global_of_wiring(layer), ShapeKind::kWire, 0, net};
+}
+
+TEST_F(ShapeGridTest, InsertQueryRemove) {
+  const Shape s = wire_shape({1000, 1000, 2000, 1050}, 0, 5);
+  grid_.insert(s, kStandard);
+  int count = 0;
+  Rect hull;
+  grid_.query(s.global_layer, {900, 900, 2100, 1200}, [&](const GridShape& gs) {
+    ++count;
+    hull = hull.hull(gs.rect);
+    EXPECT_EQ(gs.net, 5);
+    EXPECT_EQ(gs.ripup, kStandard);
+    EXPECT_EQ(gs.kind, ShapeKind::kWire);
+    EXPECT_EQ(gs.rule_width, 50);
+  });
+  EXPECT_GT(count, 0);
+  EXPECT_EQ(hull, s.rect);  // clipped pieces reassemble the original
+  grid_.remove(s, kStandard);
+  EXPECT_TRUE(grid_.region_empty(s.global_layer, {0, 0, 8000, 8000}));
+}
+
+TEST_F(ShapeGridTest, DisjointLayers) {
+  grid_.insert(wire_shape({0, 0, 500, 50}, 0, 1), kStandard);
+  EXPECT_FALSE(grid_.region_empty(global_of_wiring(0), {0, 0, 600, 100}));
+  EXPECT_TRUE(grid_.region_empty(global_of_wiring(1), {0, 0, 600, 100}));
+  EXPECT_TRUE(grid_.region_empty(global_of_via(0), {0, 0, 600, 100}));
+}
+
+TEST_F(ShapeGridTest, IntervalCompressionOnLongWire) {
+  // A long on-track wire should produce few intervals (identical interior
+  // configs coalesce) and few distinct configurations.
+  const Shape s = wire_shape({0, 1000, 6000, 1050}, 0, 2);
+  grid_.insert(s, kStandard);
+  // 60 cells are covered, but compression keeps stored pieces small.
+  EXPECT_LE(grid_.interval_count(), 6u);
+  EXPECT_LE(grid_.config_count(), 8u);
+}
+
+TEST_F(ShapeGridTest, MixedCellOwnershipPerShape) {
+  // Two different nets sharing one cell: each shape keeps its own net
+  // (per-shape ownership, see cell_config.hpp).
+  grid_.insert(wire_shape({0, 0, 90, 40}, 0, 1), kStandard);
+  grid_.insert(wire_shape({10, 60, 90, 95}, 0, 2), kStandard);  // same cell
+  bool saw1 = false, saw2 = false, saw_mixed = false;
+  grid_.query(global_of_wiring(0), {0, 0, 100, 100}, [&](const GridShape& gs) {
+    saw1 |= gs.net == 1;
+    saw2 |= gs.net == 2;
+    saw_mixed |= gs.net == -2;
+  });
+  EXPECT_TRUE(saw1);
+  EXPECT_TRUE(saw2);
+  EXPECT_FALSE(saw_mixed);
+}
+
+TEST_F(ShapeGridTest, RipupLevelIsMin) {
+  grid_.insert(wire_shape({0, 0, 90, 40}, 0, 1), kStandard);
+  grid_.insert(wire_shape({10, 50, 90, 90}, 0, 1), kCritical);
+  RipupLevel min_seen = 255;
+  grid_.query(global_of_wiring(0), {0, 0, 100, 100},
+              [&](const GridShape& gs) { min_seen = std::min(min_seen, gs.ripup); });
+  EXPECT_EQ(min_seen, kCritical);
+}
+
+TEST_F(ShapeGridTest, DuplicateInsertRemoveOnce) {
+  const Shape s = wire_shape({500, 500, 700, 550}, 1, 3);
+  grid_.insert(s, kStandard);
+  grid_.insert(s, kStandard);
+  grid_.remove(s, kStandard);
+  EXPECT_FALSE(grid_.region_empty(s.global_layer, {400, 400, 800, 600}));
+  grid_.remove(s, kStandard);
+  EXPECT_TRUE(grid_.region_empty(s.global_layer, {400, 400, 800, 600}));
+}
+
+/// Property: random inserts + full removal leaves the grid empty, and the
+/// interning table never loses shapes.
+TEST_F(ShapeGridTest, RandomRoundTrip) {
+  Rng rng(42);
+  std::vector<Shape> shapes;
+  for (int i = 0; i < 200; ++i) {
+    const Coord x = rng.range(0, 7000);
+    const Coord y = rng.range(0, 7000);
+    const int layer = static_cast<int>(rng.range(0, 3));
+    shapes.push_back(wire_shape(
+        {x, y, x + rng.range(20, 900), y + rng.range(20, 200)}, layer,
+        static_cast<int>(rng.range(0, 20))));
+  }
+  for (const Shape& s : shapes) grid_.insert(s, kStandard);
+  // Query consistency: every shape is found (as pieces covering its rect).
+  for (const Shape& s : shapes) {
+    Rect hull;
+    grid_.query(s.global_layer, s.rect, [&](const GridShape& gs) {
+      if (gs.rect.intersects(s.rect)) hull = hull.hull(gs.rect);
+    });
+    EXPECT_TRUE(hull.contains(s.rect));
+  }
+  Rng rng2(43);
+  std::shuffle(shapes.begin(), shapes.end(), rng2);
+  for (const Shape& s : shapes) grid_.remove(s, kStandard);
+  for (int l = 0; l < 7; ++l) {
+    EXPECT_TRUE(grid_.region_empty(l, {0, 0, 8000, 8000})) << "layer " << l;
+  }
+}
+
+TEST(CellConfigTable, Interning) {
+  CellConfigTable table;
+  const CellShape a{{0, 0, 50, 50}, ShapeKind::kWire, 0, 50};
+  const CellShape b{{10, 10, 60, 60}, ShapeKind::kJog, 0, 50};
+  const int c1 = table.add_shape(CellConfigTable::kEmpty, a);
+  const int c2 = table.add_shape(c1, b);
+  const int c3 = table.add_shape(CellConfigTable::kEmpty, b);
+  const int c4 = table.add_shape(c3, a);
+  EXPECT_EQ(c2, c4);  // order-independent canonical form
+  EXPECT_EQ(table.remove_shape(c2, b), c1);
+  EXPECT_EQ(table.remove_shape(c1, a), CellConfigTable::kEmpty);
+  // Same content re-interned gets the same id.
+  EXPECT_EQ(table.add_shape(CellConfigTable::kEmpty, a), c1);
+}
+
+}  // namespace
+}  // namespace bonn

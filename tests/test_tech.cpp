@@ -1,0 +1,140 @@
+// Technology & rules tests: spacing tables, distance predicates, wire/via
+// models, stick-to-shape expansion with line-end pessimism (§3.1-§3.2).
+#include <gtest/gtest.h>
+
+#include "src/tech/rules.hpp"
+#include "src/tech/shapes.hpp"
+#include "src/tech/tech.hpp"
+
+namespace bonn {
+namespace {
+
+TEST(SpacingTable, WidthAndRunLengthRows) {
+  SpacingTable t({{0, -1000000, 50}, {120, 0, 80}, {120, 400, 120}});
+  EXPECT_EQ(t.required(50, 50, 0), 50);
+  EXPECT_EQ(t.required(50, 50, 10000), 50);    // narrow stays narrow
+  EXPECT_EQ(t.required(150, 50, -10), 50);      // wide but no run-length
+  EXPECT_EQ(t.required(150, 50, 10), 80);       // wide with positive prl
+  EXPECT_EQ(t.required(150, 50, 500), 120);     // wide with long prl
+  EXPECT_EQ(t.max_spacing(), 120);
+}
+
+TEST(KeepsDistance, AxisAndDiagonal) {
+  const Rect a{0, 0, 100, 50};
+  // Axis gap of exactly 50 is legal for spacing 50.
+  EXPECT_TRUE(keeps_distance(a, Rect{150, 0, 250, 50}, 50));
+  EXPECT_FALSE(keeps_distance(a, Rect{149, 0, 249, 50}, 50));
+  // Diagonal: gaps (40, 40) give sqrt(3200) ~ 56.6 >= 50: legal.
+  EXPECT_TRUE(keeps_distance(a, Rect{140, 90, 240, 140}, 50));
+  // Diagonal gaps (30, 30): sqrt(1800) ~ 42.4 < 50: violation.
+  EXPECT_FALSE(keeps_distance(a, Rect{130, 80, 230, 130}, 50));
+  // Overlap is always a violation for positive spacing.
+  EXPECT_FALSE(keeps_distance(a, Rect{50, 25, 150, 75}, 50));
+  // Zero spacing allows touching but not interior overlap.
+  EXPECT_TRUE(keeps_distance(a, Rect{100, 0, 200, 50}, 0));
+  EXPECT_FALSE(keeps_distance(a, Rect{99, 0, 199, 50}, 0));
+}
+
+TEST(Tech, MakeTestLayers) {
+  const Tech tech = Tech::make_test(6);
+  ASSERT_EQ(tech.num_wiring(), 6);
+  ASSERT_EQ(tech.num_vias(), 5);
+  EXPECT_EQ(tech.pref(0), Dir::kHorizontal);
+  EXPECT_EQ(tech.pref(1), Dir::kVertical);
+  EXPECT_EQ(tech.pref(2), Dir::kHorizontal);
+  EXPECT_EQ(tech.wiretypes.size(), 3u);
+  EXPECT_GT(tech.max_spacing(0), 0);
+  // Global layer id helpers.
+  EXPECT_EQ(global_of_wiring(2), 4);
+  EXPECT_EQ(global_of_via(2), 5);
+  EXPECT_TRUE(is_wiring(4));
+  EXPECT_FALSE(is_wiring(5));
+  EXPECT_EQ(wiring_of_global(4), 2);
+  EXPECT_EQ(via_of_global(5), 2);
+}
+
+TEST(WireModel, ShapeFromStick) {
+  const Tech tech = Tech::make_test(4);
+  // Horizontal layer 0, standard wire, horizontal stick: preferred dir.
+  const WireModel& m = tech.wire_model(0, 0, true);
+  const Rect shape = m.shape({100, 200}, {300, 200});
+  // Width 50: +-25 perpendicular; line-end extra 20 + halfwidth 25 along.
+  EXPECT_EQ(shape, (Rect{100 - 45, 200 - 25, 300 + 45, 200 + 25}));
+}
+
+TEST(ExpandWire, PrefVsJog) {
+  const Tech tech = Tech::make_test(4);
+  // Horizontal stick on horizontal layer 0: kWire with line-end extension.
+  const WireStick pref{{0, 0}, {200, 0}, 0};
+  const Shape sp = expand_wire(pref, 1, 0, tech);
+  EXPECT_EQ(sp.kind, ShapeKind::kWire);
+  EXPECT_EQ(sp.rect.xlo, -45);
+  // Vertical stick on horizontal layer 0: a jog, no line-end extension.
+  const WireStick jog{{0, 0}, {0, 200}, 0};
+  const Shape sj = expand_wire(jog, 1, 0, tech);
+  EXPECT_EQ(sj.kind, ShapeKind::kJog);
+  EXPECT_EQ(sj.rect.ylo, -25);
+  EXPECT_EQ(sj.rect.yhi, 225);
+  EXPECT_EQ(sj.rect.xlo, -25);
+}
+
+TEST(ExpandVia, ShapesOnThreeLayers) {
+  const Tech tech = Tech::make_test(4);
+  const ViaStick v{{500, 500}, 1};
+  const auto shapes = expand_via(v, 3, 0, tech);
+  ASSERT_GE(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0].global_layer, global_of_wiring(1));  // bottom pad
+  EXPECT_EQ(shapes[0].kind, ShapeKind::kViaPad);
+  EXPECT_EQ(shapes[1].global_layer, global_of_wiring(2));  // top pad
+  EXPECT_EQ(shapes[2].global_layer, global_of_via(1));     // cut
+  EXPECT_EQ(shapes[2].kind, ShapeKind::kViaCut);
+  // Via layer 1 has an inter-layer rule to layer 2 in the test tech.
+  ASSERT_EQ(shapes.size(), 4u);
+  EXPECT_EQ(shapes[3].global_layer, global_of_via(2));
+  EXPECT_EQ(shapes[3].kind, ShapeKind::kViaProj);
+}
+
+TEST(ExpandPath, FullPath) {
+  const Tech tech = Tech::make_test(4);
+  RoutedPath p;
+  p.net = 7;
+  p.wiretype = 0;
+  p.wires.push_back({{0, 0}, {400, 0}, 0});
+  p.vias.push_back({{400, 0}, 0});
+  p.wires.push_back({{400, 0}, {400, 300}, 1});
+  const auto shapes = expand_path(p, tech);
+  // 2 wires + via (bottom, top, cut; via layer 0 has projection to v1).
+  EXPECT_GE(shapes.size(), 5u);
+  for (const Shape& s : shapes) EXPECT_EQ(s.net, 7);
+  EXPECT_EQ(p.wirelength(), 700);
+}
+
+TEST(ExpandPathDrawn, NoLineEndExtension) {
+  const Tech tech = Tech::make_test(4);
+  RoutedPath p;
+  p.net = 3;
+  p.wiretype = 0;
+  p.wires.push_back({{100, 0}, {500, 0}, 0});  // pref-dir wire
+  const auto routing = expand_path(p, tech);
+  const auto drawn = expand_path_drawn(p, tech);
+  ASSERT_EQ(routing.size(), 1u);
+  ASSERT_EQ(drawn.size(), 1u);
+  // Routing model carries the pessimistic extension (45 = w/2 + 20).
+  EXPECT_EQ(routing[0].rect, (Rect{100 - 45, -25, 500 + 45, 25}));
+  // Drawn metal has plain w/2 end caps.
+  EXPECT_EQ(drawn[0].rect, (Rect{100 - 25, -25, 500 + 25, 25}));
+  // Vias are identical in both views.
+  p.vias.push_back({{500, 0}, 0});
+  EXPECT_EQ(expand_path(p, tech).size(), expand_path_drawn(p, tech).size());
+}
+
+TEST(RoutedPath, Wirelength) {
+  RoutedPath p;
+  EXPECT_TRUE(p.empty());
+  p.wires.push_back({{0, 0}, {100, 0}, 0});
+  p.wires.push_back({{0, 0}, {0, 50}, 0});
+  EXPECT_EQ(p.wirelength(), 150);
+}
+
+}  // namespace
+}  // namespace bonn

@@ -1,0 +1,158 @@
+// Track optimization (Theorem 3.1) and track graph (§3.5) tests.
+#include <gtest/gtest.h>
+
+#include "src/db/instance_gen.hpp"
+#include "src/tracks/track_graph.hpp"
+#include "src/tracks/track_opt.hpp"
+#include "src/util/rng.hpp"
+
+namespace bonn {
+namespace {
+
+TEST(TrackOpt, FreePlaneUsesFullPitchGrid) {
+  const std::vector<Rect> usable{{0, 0, 1000, 1000}};
+  const auto res = optimize_tracks({25, 975}, usable, Dir::kHorizontal, 100);
+  // ~10 tracks at pitch 100 fit into the 950-wide span.
+  EXPECT_GE(res.tracks.size(), 9u);
+  for (std::size_t i = 1; i < res.tracks.size(); ++i) {
+    EXPECT_GE(res.tracks[i] - res.tracks[i - 1], 100);
+  }
+  EXPECT_GT(res.usable_length, 0);
+}
+
+TEST(TrackOpt, AlignsToUsableBand) {
+  // One narrow fully-usable band: the optimal single track must lie in it.
+  const std::vector<Rect> usable{{0, 495, 2000, 545}};
+  const auto res = optimize_tracks({0, 1000}, usable, Dir::kHorizontal, 100);
+  bool found = false;
+  for (Coord t : res.tracks) {
+    if (t >= 495 && t < 545) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(res.usable_length, 2000);
+}
+
+TEST(TrackOpt, ObjectiveMatchesEvaluator) {
+  Rng rng(5);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<Rect> usable;
+    for (int i = 0; i < 8; ++i) {
+      const Coord y = rng.range(0, 900);
+      const Coord x = rng.range(0, 500);
+      usable.push_back({x, y, x + rng.range(100, 1500), y + rng.range(20, 200)});
+    }
+    const auto res = optimize_tracks({0, 1000}, usable, Dir::kHorizontal, 100);
+    // DP value = re-evaluated value of the chosen tracks (gap-filled tracks
+    // contribute 0 or more, so evaluator >= DP objective).
+    EXPECT_GE(usable_track_length(res.tracks, usable, Dir::kHorizontal),
+              res.usable_length);
+  }
+}
+
+/// Exact optimality on small instances: compare to brute force over all
+/// offsets of a uniform grid and over all candidate subsets (small span).
+TEST(TrackOpt, BeatsUniformOffsets) {
+  Rng rng(11);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<Rect> usable;
+    for (int i = 0; i < 5; ++i) {
+      const Coord y = rng.range(0, 380);
+      usable.push_back({0, y, rng.range(100, 800), y + rng.range(10, 80)});
+    }
+    const Interval span{0, 400};
+    const Coord pitch = 100;
+    const auto res = optimize_tracks(span, usable, Dir::kHorizontal, pitch);
+    const auto value = usable_track_length(res.tracks, usable, Dir::kHorizontal);
+    // Any uniform-offset solution is a feasible solution, so the optimum
+    // must be at least as good.
+    for (Coord off = 0; off < pitch; off += 7) {
+      std::vector<Coord> uniform;
+      for (Coord c = span.lo + off; c <= span.hi; c += pitch) {
+        uniform.push_back(c);
+      }
+      EXPECT_GE(value,
+                usable_track_length(uniform, usable, Dir::kHorizontal))
+          << "offset " << off << " iter " << iter;
+    }
+  }
+}
+
+TEST(UsableRegions, SubtractsObstacles) {
+  const Rect die{0, 0, 100, 100};
+  const std::vector<Rect> obs{{40, 0, 60, 100}};
+  const auto free_rects = usable_regions(die, obs);
+  std::int64_t area = 0;
+  for (const Rect& r : free_rects) area += r.area();
+  EXPECT_EQ(area, 100 * 100 - 20 * 100);
+  for (const Rect& r : free_rects) {
+    EXPECT_FALSE(r.overlaps_interior(obs[0]));
+  }
+}
+
+class TrackGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    chip_ = make_tiny_chip(4);
+    tg_ = std::make_unique<TrackGraph>(chip_.tech, chip_.die,
+                                       chip_.fixed_shapes());
+  }
+  Chip chip_;
+  std::unique_ptr<TrackGraph> tg_;
+};
+
+TEST_F(TrackGraphTest, LayersAndTracks) {
+  ASSERT_EQ(tg_->num_layers(), 4);
+  for (int l = 0; l < 4; ++l) {
+    EXPECT_GT(tg_->tracks(l).size(), 10u) << "layer " << l;
+    EXPECT_GT(tg_->stations(l).size(), 10u);
+    // Tracks sorted, pitch respected.
+    const auto& ts = tg_->tracks(l);
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      EXPECT_GE(ts[i] - ts[i - 1], chip_.tech.wiring[0].pitch);
+    }
+  }
+  EXPECT_GT(tg_->num_vertices(), 1000);
+}
+
+TEST_F(TrackGraphTest, StationsAreNeighbourTracks) {
+  // Every track of layer 1 must be a station of layers 0 and 2.
+  for (Coord t : tg_->tracks(1)) {
+    EXPECT_GE(tg_->station_index(0, t), 0);
+    EXPECT_GE(tg_->station_index(2, t), 0);
+  }
+}
+
+TEST_F(TrackGraphTest, ViaPartnersAreInverse) {
+  for (int ti = 0; ti < static_cast<int>(tg_->tracks(1).size()); ti += 3) {
+    for (int si = 0; si < static_cast<int>(tg_->stations(1).size()); si += 5) {
+      const TrackVertex v{1, ti, si};
+      const TrackVertex up = tg_->via_up(v);
+      if (!up.valid()) continue;
+      // Same planar point.
+      EXPECT_EQ(tg_->vertex_pt(v), tg_->vertex_pt(up));
+      // And back down.
+      const TrackVertex back = tg_->via_dn(up);
+      ASSERT_TRUE(back.valid());
+      EXPECT_EQ(back, v);
+    }
+  }
+}
+
+TEST_F(TrackGraphTest, NearestVertexIsClose) {
+  const Point p{1234, 2345};
+  const TrackVertex v = tg_->nearest_vertex(1, p);
+  ASSERT_TRUE(v.valid());
+  EXPECT_LE(l1_dist(tg_->vertex_pt(v), p), 2 * chip_.tech.wiring[0].pitch);
+}
+
+TEST_F(TrackGraphTest, VerticesInArea) {
+  const Rect area{1000, 1000, 2000, 2000};
+  const auto verts = tg_->vertices_in(1, area);
+  EXPECT_GT(verts.size(), 10u);
+  for (const TrackVertex& v : verts) {
+    EXPECT_TRUE(area.contains(tg_->vertex_pt(v)));
+  }
+}
+
+}  // namespace
+}  // namespace bonn

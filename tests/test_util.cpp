@@ -1,0 +1,110 @@
+// Utility-layer tests: RNG determinism and distribution sanity, thread pool
+// correctness under load, check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "src/util/assert.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/thread_pool.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+    const auto u = rng.below(13);
+    EXPECT_LT(u, 13u);
+    const double d = rng.uniform();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(99);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.below(10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, n / 10 - n / 50);
+    EXPECT_LT(b, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, FlipProbability) {
+  Rng rng(123);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.flip(0.3);
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum += i; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(Checks, BonnCheckThrows) {
+  EXPECT_NO_THROW(BONN_CHECK(1 + 1 == 2));
+  EXPECT_THROW(BONN_CHECK(1 + 1 == 3), std::logic_error);
+  try {
+    BONN_CHECK_MSG(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"),
+              std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  StopWatch w;
+  w.start();
+  w.stop();
+  w.start();
+  w.stop();
+  EXPECT_GE(w.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace bonn

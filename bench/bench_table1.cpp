@@ -64,7 +64,7 @@ int main() {
           (long long)r.vias, r.sc25, r.sc50, (long long)r.errors,
           (long long)r.opens);
     };
-    char label[16];
+    char label[32];
     std::snprintf(label, sizeof label, "%d(%dk)", chip_no,
                   params.num_nets / 1000);
     print("ISR", isr, label);

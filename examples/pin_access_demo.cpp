@@ -19,7 +19,8 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     Net net;
     net.id = i;
-    net.name = "n" + std::to_string(i);
+    net.name = "n";
+    net.name += std::to_string(i);
     Pin pin;
     pin.id = i;
     pin.net = i;

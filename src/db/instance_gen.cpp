@@ -229,7 +229,8 @@ Chip generate_chip(const ChipParams& params) {
     }
     Net net;
     net.id = static_cast<int>(chip.nets.size());
-    net.name = "n" + std::to_string(net.id);
+    net.name = "n";
+    net.name += std::to_string(net.id);
     net.wiretype = rng.flip(params.wide_net_fraction) ? 1 : 0;
     net.weight = rng.flip(0.1) ? 4.0 : 1.0;
     for (int idx : chosen) {
@@ -255,7 +256,8 @@ Chip make_tiny_chip(int layers) {
   auto add_net = [&](const std::vector<Point>& pts, int wiretype) {
     Net net;
     net.id = static_cast<int>(chip.nets.size());
-    net.name = "t" + std::to_string(net.id);
+    net.name = "t";
+    net.name += std::to_string(net.id);
     net.wiretype = wiretype;
     for (const Point& p : pts) {
       Pin pin;

@@ -1,12 +1,13 @@
 #include "src/detailed/net_router.hpp"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstdio>
 #include <set>
 
 #include "src/geom/rect_union.hpp"
 #include "src/geom/rsmt.hpp"
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/timer.hpp"
 
@@ -275,17 +276,14 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
         }
         continue;
       }
-      if (std::getenv("BONN_DEBUG_NETROUTER")) {
-        std::fprintf(stderr, "net %d: no sources (comp pins=%zu paths=%zu)\n",
-                     net, comps[src_i].pins.size(), comps[src_i].paths.size());
-      }
+      BONN_LOGF(obs::LogLevel::kDebug,
+                "net %d: no sources (comp pins=%zu paths=%zu)", net,
+                comps[src_i].pins.size(), comps[src_i].paths.size());
       return false;
     }
     if (targets.empty()) {
-      if (std::getenv("BONN_DEBUG_NETROUTER")) {
-        std::fprintf(stderr, "net %d: no targets (comps=%zu)\n", net,
-                     comps.size());
-      }
+      BONN_LOGF(obs::LogLevel::kDebug, "net %d: no targets (comps=%zu)", net,
+                comps.size());
       return false;
     }
 
@@ -389,6 +387,8 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
               params.detour_for_pi_p * static_cast<double>(direct)) {
         pi.add_tile_bounds(std::move(bounds));
         if (stats) ++stats->pi_p_used;
+        static obs::Counter& c = obs::counter("detailed.pi_p_used");
+        c.add();
       }
     }
 
@@ -511,11 +511,11 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     }
 
     if (!fp) {
-      if (std::getenv("BONN_DEBUG_NETROUTER")) {
-        std::fprintf(stderr, "net %d: search failed (%zu srcs %zu tgts)\n",
-                     net, sources.size(), targets.size());
-      }
+      BONN_LOGF(obs::LogLevel::kDebug, "net %d: search failed (%zu srcs %zu tgts)",
+                net, sources.size(), targets.size());
       if (stats) ++stats->connections_failed;
+      static obs::Counter& c = obs::counter("detailed.connections_failed");
+      c.add();
       return false;
     }
 
@@ -530,15 +530,22 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
                               rip_depth >= params.max_rip_depth ||
                               has_fixed_blocker;
       if (cannot_rip && !params.commit_despite_violations) {
+        BONN_LOGF(obs::LogLevel::kDebug,
+                  "net %d: blocked and cannot rip (%zu blockers, depth %d)",
+                  net, blockers.size(), rip_depth);
         if (stats) ++stats->connections_failed;
+        static obs::Counter& c = obs::counter("detailed.connections_failed");
+        c.add();
         return false;
       }
       if (cannot_rip) blockers.clear();  // commit; cleanup handles the rest
+      static obs::Counter& c_rip = obs::counter("detailed.ripups");
       for (int b : blockers) {
         if (b >= 0 && b != net) {
           rip_net_tracked(b);
           ripped.insert(b);
           if (stats) ++stats->ripups;
+          c_rip.add();
         }
       }
     }
@@ -546,6 +553,8 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     for (const RoutedPath& p : new_paths) rs_->commit_path(p);
     for (int pid : commit_access_pins) access_committed_[pid] = true;
     if (stats) ++stats->connections_routed;
+    static obs::Counter& c_ok = obs::counter("detailed.connections_routed");
+    c_ok.add();
   }
 
   postprocess_net(net);
@@ -570,6 +579,7 @@ void NetRouter::rip_net_tracked(int net) {
 }
 
 void NetRouter::precompute_access(const NetRouteParams& params) {
+  BONN_TRACE_SPAN("detailed.precompute_access");
   const Chip& chip = rs_->chip();
   const Coord cluster_dist = 300;
 
@@ -724,6 +734,7 @@ void NetRouter::postprocess_net(int net) {
 }
 
 void NetRouter::route_all(const NetRouteParams& params, DetailedStats* stats) {
+  BONN_TRACE_SPAN("detailed.route_all");
   Timer timer;
   precompute_access(params);
   const Chip& chip = rs_->chip();
@@ -748,9 +759,15 @@ void NetRouter::route_all(const NetRouteParams& params, DetailedStats* stats) {
   };
   int failed = 0;
   for (int round = 0; round < params.rounds; ++round) {
+    BONN_TRACE_SPAN("detailed.round");
     NetRouteParams rp = params;
     rp.search.allowed_ripup =
         round == 0 ? 0 : (round == 1 ? kStandard : kCritical);
+    // Escalation evidence (§4.4): how many rounds ran at each ripup level.
+    static obs::Counter& c_r0 = obs::counter("detailed.rounds_noripup");
+    static obs::Counter& c_r1 = obs::counter("detailed.rounds_standard");
+    static obs::Counter& c_r2 = obs::counter("detailed.rounds_critical");
+    (round == 0 ? c_r0 : round == 1 ? c_r1 : c_r2).add();
     rp.corridor_halo = params.corridor_halo + round;
     rp.commit_despite_violations = round == params.rounds - 1;
     failed = 0;

@@ -4,7 +4,9 @@
 #include <limits>
 #include <queue>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
 
 namespace bonn {
 
@@ -603,6 +605,18 @@ struct Engine {
         static_cast<std::uint64_t>(local_stats.fastgrid_hits));
     rs->fast().record_misses(
         static_cast<std::uint64_t>(local_stats.fastgrid_misses));
+    // One registry update per search, not per pop: the hot loop stays
+    // allocation- and atomic-free.
+    static obs::Counter& c_labels = obs::counter("detailed.labels_created");
+    static obs::Counter& c_pops = obs::counter("detailed.interval_pops");
+    static obs::Counter& c_exp = obs::counter("detailed.station_expansions");
+    static obs::Counter& c_hits = obs::counter("fastgrid.hits");
+    static obs::Counter& c_miss = obs::counter("fastgrid.misses");
+    c_labels.add(local_stats.labels_created);
+    c_pops.add(local_stats.pops);
+    c_exp.add(local_stats.station_expansions);
+    c_hits.add(local_stats.fastgrid_hits);
+    c_miss.add(local_stats.fastgrid_misses);
   }
 };
 
@@ -620,7 +634,13 @@ std::optional<FoundPath> OnTrackSearch::run(
   engine.params = &params;
   engine.area = &area;
   engine.stats = stats;
-  return engine.search(sources, targets);
+  const Timer timer;
+  auto result = engine.search(sources, targets);
+  static obs::Histogram& h_us = obs::histogram("detailed.search_micros");
+  static obs::Histogram& h_pops = obs::histogram("detailed.pops_per_search");
+  h_us.record(static_cast<std::int64_t>(timer.seconds() * 1e6));
+  h_pops.record(engine.local_stats.pops);
+  return result;
 }
 
 }  // namespace bonn

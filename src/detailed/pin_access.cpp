@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace bonn {
@@ -37,6 +38,10 @@ RoutedPath polyline_to_path(const std::vector<PointL>& pts, int base_layer,
 
 std::vector<AccessPath> PinAccess::catalogue(
     const Pin& pin, const PinAccessParams& params) const {
+  // Catalogue (re)builds: first-time §4.3 preprocessing plus every dynamic
+  // regeneration after a rip-up — the "pin access attempts" evidence.
+  static obs::Counter& c_cat = obs::counter("access.catalogues_built");
+  c_cat.add();
   std::vector<AccessPath> out;
   if (pin.shapes.empty()) return out;
   const Tech& tech = rs_->chip().tech;
@@ -284,6 +289,8 @@ Coord spread_penalty(const AccessPath& a, const AccessPath& b) {
 
 std::vector<int> PinAccess::conflict_free_selection(
     const std::vector<std::vector<AccessPath>>& catalogues) const {
+  static obs::Counter& c_sel = obs::counter("access.conflict_free_selections");
+  c_sel.add();
   const std::size_t n = catalogues.size();
   std::vector<int> best(n, -1);
   if (n == 0) return best;

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace bonn {
@@ -37,6 +38,25 @@ std::optional<FoundPath> VertexSearch::run(
   const int wt = params.wiretype;
   const RipupLevel rl = params.allowed_ripup;
   SearchStats local{};
+  auto flush_stats = [&] {
+    if (stats) {
+      stats->labels_created += local.labels_created;
+      stats->pops += local.pops;
+      stats->station_expansions += local.station_expansions;
+      stats->fastgrid_hits += local.fastgrid_hits;
+      stats->fastgrid_misses += local.fastgrid_misses;
+    }
+    // Same registry names as the interval search: the two engines are
+    // interchangeable, so their work lands in one set of counters.
+    static obs::Counter& c_labels = obs::counter("detailed.labels_created");
+    static obs::Counter& c_pops = obs::counter("detailed.interval_pops");
+    static obs::Counter& c_hits = obs::counter("fastgrid.hits");
+    static obs::Counter& c_miss = obs::counter("fastgrid.misses");
+    c_labels.add(local.labels_created);
+    c_pops.add(local.pops);
+    c_hits.add(local.fastgrid_hits);
+    c_miss.add(local.fastgrid_misses);
+  };
 
   std::unordered_map<std::int64_t, NodeState> nodes;
   std::unordered_map<std::int64_t, TrackVertex> verts;
@@ -154,13 +174,7 @@ std::optional<FoundPath> VertexSearch::run(
         corners.push_back(p);
       }
       fp.vertices = std::move(corners);
-      if (stats) {
-        stats->labels_created += local.labels_created;
-        stats->pops += local.pops;
-        stats->station_expansions += local.station_expansions;
-        stats->fastgrid_hits += local.fastgrid_hits;
-        stats->fastgrid_misses += local.fastgrid_misses;
-      }
+      flush_stats();
       return fp;
     }
 
@@ -257,13 +271,7 @@ std::optional<FoundPath> VertexSearch::run(
     }
   }
 
-  if (stats) {
-    stats->labels_created += local.labels_created;
-    stats->pops += local.pops;
-    stats->station_expansions += local.station_expansions;
-    stats->fastgrid_hits += local.fastgrid_hits;
-    stats->fastgrid_misses += local.fastgrid_misses;
-  }
+  flush_stats();
   return std::nullopt;
 }
 

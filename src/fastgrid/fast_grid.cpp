@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace bonn {
@@ -227,6 +228,8 @@ void FastGrid::recompute_via(int v, const Rect& region) {
 }
 
 void FastGrid::recompute(int g, const Rect& region) {
+  static obs::Counter& c = obs::counter("fastgrid.recomputes");
+  c.add();
   if (is_wiring(g)) {
     recompute_wiring(wiring_of_global(g), region);
   } else {
@@ -235,6 +238,8 @@ void FastGrid::recompute(int g, const Rect& region) {
 }
 
 void FastGrid::rebuild() {
+  static obs::Counter& c = obs::counter("fastgrid.rebuilds");
+  c.add();
   const Rect die = tg_->die().expanded(1000);
   for (int w = 0; w < tech_->num_wiring(); ++w) recompute_wiring(w, die);
   for (int v = 0; v < tech_->num_vias(); ++v) recompute_via(v, die);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/timer.hpp"
 
@@ -45,6 +47,7 @@ GlobalRouter::GlobalRouter(const Chip& chip, const TrackGraph& tg,
 
 std::vector<SteinerSolution> GlobalRouter::route(
     const GlobalRouterParams& params, GlobalRoutingStats* stats) {
+  BONN_TRACE_SPAN("global.route");
   Timer total;
   ResourceModel model(*graph_, *chip_, params.max_extra_space,
                       params.detour_bound);
@@ -57,6 +60,16 @@ std::vector<SteinerSolution> GlobalRouter::route(
   RoundingStats rd_stats;
   IntegralAssignment integral = round_and_fix(
       model, oracle, frac, terminals_, params.rounding, &rd_stats);
+
+  obs::counter("global.oracle_calls")
+      .add(static_cast<std::int64_t>(sh_stats.oracle_calls));
+  obs::counter("global.oracle_reuses")
+      .add(static_cast<std::int64_t>(sh_stats.reuses));
+  obs::gauge("global.lambda").set(sh_stats.lambda);
+  obs::counter("global.rr_nets_rechosen").add(rd_stats.nets_rechosen);
+  obs::counter("global.rr_fresh_routes").add(rd_stats.fresh_routes);
+  obs::gauge("global.overflowed_edges")
+      .set(rd_stats.overflowed_edges_final);
 
   if (stats) {
     stats->total_seconds = total.seconds();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
@@ -77,6 +79,7 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
                                  const std::vector<std::vector<int>>& terminals,
                                  const RoundingParams& params,
                                  RoundingStats* stats) {
+  BONN_TRACE_SPAN("global.rounding");
   Timer timer;
   Rng rng(params.seed);
   const std::size_t N = frac.per_net.size();
@@ -104,9 +107,12 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
   const int initial_overflow = usage.overflowed_edges();
 
   // ---- Rechoose from the support.
+  static obs::Counter& rr_rounds = obs::counter("global.rr_rounds");
   std::vector<char> rechosen(N, 0);
   for (int pass = 0;
        pass < params.rechoose_passes && usage.overflowed_edges() > 0; ++pass) {
+    BONN_TRACE_SPAN("global.rounding.rechoose_pass");
+    rr_rounds.add();
     bool improved = false;
     for (std::size_t n = 0; n < N; ++n) {
       const auto& sols = frac.per_net[n];
@@ -144,6 +150,8 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
   for (int round = 0;
        round < params.reroute_rounds && usage.overflowed_edges() > 0;
        ++round) {
+    BONN_TRACE_SPAN("global.rounding.reroute_round");
+    rr_rounds.add();
     // Prices: heavily penalize overflowed space resources.
     std::vector<double> y(static_cast<std::size_t>(model.num_resources()),
                           1.0);

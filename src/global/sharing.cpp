@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/timer.hpp"
@@ -90,7 +91,9 @@ FractionalSolution ResourceSharing::run(
     }
   };
 
+  BONN_TRACE_SPAN("global.sharing");
   for (int phase = 0; phase < params.phases; ++phase) {
+    BONN_TRACE_SPAN("global.sharing.phase");
     if (pool) {
       // Shard nets across threads; prices are shared and updated under a
       // light lock (reads are racy by design — volatility tolerant).
@@ -102,6 +105,16 @@ FractionalSolution ResourceSharing::run(
       });
     } else {
       for (std::size_t n = 0; n < N; ++n) handle_net(n, phase, ws[0]);
+    }
+    // λ trajectory (Fig. 1-style convergence evidence): with y_r = e^{ε·Σg},
+    // the usage of r averaged over the phases so far is ln(y_r)/(ε·phases),
+    // so the max over resources is exactly λ of the running average.
+    if (obs::Trace::active()) {
+      double max_y = 1.0;
+      for (const double yr : y) max_y = std::max(max_y, yr);
+      const double lambda_est =
+          std::log(max_y) / (params.epsilon * (phase + 1));
+      obs::Trace::counter_event("global.lambda", lambda_est);
     }
   }
 

@@ -1,0 +1,278 @@
+#include "src/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace bonn::obs {
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::set(std::string key, Json v) {
+  std::get<Object>(v_).emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+namespace {
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_to(std::string& out, double d) {
+  // NaN/inf are not representable in JSON; the report uses null for
+  // "unavailable" values, so plain numbers degrade to null too.
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);
+  out.append(buf, res.ptr);
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += as_bool() ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(std::get<std::int64_t>(v_)); break;
+    case Type::kDouble: number_to(out, std::get<double>(v_)); break;
+    case Type::kString: escape_to(out, as_string()); break;
+    case Type::kArray: {
+      const Array& a = items();
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ',';
+        if (indent) newline_indent(out, indent, depth + 1);
+        a[i].dump_to(out, indent, depth + 1);
+      }
+      if (indent && !a.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& o = members();
+      out += '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i) out += ',';
+        if (indent) newline_indent(out, indent, depth + 1);
+        escape_to(out, o[i].first);
+        out += indent ? ": " : ":";
+        o[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (indent && !o.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (end - p < static_cast<std::ptrdiff_t>(lit.size())) return false;
+    if (std::string_view(p, lit.size()) != lit) return false;
+    p += lit.size();
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (p >= end || *p != '"') return std::nullopt;
+    ++p;
+    std::string s;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        if (++p >= end) return std::nullopt;
+        switch (*p) {
+          case '"': s += '"'; break;
+          case '\\': s += '\\'; break;
+          case '/': s += '/'; break;
+          case 'b': s += '\b'; break;
+          case 'f': s += '\f'; break;
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return std::nullopt;
+            unsigned cp = 0;
+            if (std::from_chars(p + 1, p + 5, cp, 16).ec != std::errc{}) {
+              return std::nullopt;
+            }
+            p += 4;
+            if (cp < 0x80) {
+              s += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              s += static_cast<char>(0xC0 | (cp >> 6));
+              s += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (cp >> 12));
+              s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: return std::nullopt;
+        }
+        ++p;
+      } else {
+        s += *p++;
+      }
+    }
+    if (p >= end) return std::nullopt;
+    ++p;  // closing quote
+    return s;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (p >= end) return std::nullopt;
+    switch (*p) {
+      case 'n': return literal("null") ? std::optional<Json>(Json()) : std::nullopt;
+      case 't': return literal("true") ? std::optional<Json>(Json(true)) : std::nullopt;
+      case 'f': return literal("false") ? std::optional<Json>(Json(false)) : std::nullopt;
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case '[': {
+        ++p;
+        Json a = Json::array();
+        skip_ws();
+        if (p < end && *p == ']') {
+          ++p;
+          return a;
+        }
+        for (;;) {
+          auto v = parse_value();
+          if (!v) return std::nullopt;
+          a.push(std::move(*v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == ']') {
+            ++p;
+            return a;
+          }
+          return std::nullopt;
+        }
+      }
+      case '{': {
+        ++p;
+        Json o = Json::object();
+        skip_ws();
+        if (p < end && *p == '}') {
+          ++p;
+          return o;
+        }
+        for (;;) {
+          skip_ws();
+          auto k = parse_string();
+          if (!k) return std::nullopt;
+          skip_ws();
+          if (p >= end || *p != ':') return std::nullopt;
+          ++p;
+          auto v = parse_value();
+          if (!v) return std::nullopt;
+          o.set(std::move(*k), std::move(*v));
+          skip_ws();
+          if (p < end && *p == ',') {
+            ++p;
+            continue;
+          }
+          if (p < end && *p == '}') {
+            ++p;
+            return o;
+          }
+          return std::nullopt;
+        }
+      }
+      default: {
+        // Number: integer fast path, then double.
+        const char* start = p;
+        if (p < end && *p == '-') ++p;
+        while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' ||
+                           *p == 'e' || *p == 'E' || *p == '+' || *p == '-')) {
+          ++p;
+        }
+        if (p == start) return std::nullopt;
+        const std::string_view tok(start, static_cast<std::size_t>(p - start));
+        if (tok.find_first_of(".eE") == std::string_view::npos) {
+          std::int64_t i = 0;
+          if (std::from_chars(tok.data(), tok.data() + tok.size(), i).ec ==
+              std::errc{}) {
+            return Json(i);
+          }
+        }
+        double d = 0;
+        if (std::from_chars(tok.data(), tok.data() + tok.size(), d).ec !=
+            std::errc{}) {
+          return std::nullopt;
+        }
+        return Json(d);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser parser{text.data(), text.data() + text.size()};
+  auto v = parser.parse_value();
+  if (!v) return std::nullopt;
+  parser.skip_ws();
+  if (parser.p != parser.end) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace bonn::obs

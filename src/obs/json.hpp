@@ -1,0 +1,94 @@
+// Minimal JSON value: enough to write the structured run report and the
+// trace-event files, and to parse them back (round-trip tests, benchmark
+// diffing tools).  Objects preserve insertion order so reports diff cleanly.
+//
+// Not a general-purpose library: numbers are doubles (plus an int64 fast
+// path so counters survive round-trips exactly), \uXXXX escapes outside the
+// basic plane are replaced on parse, and inputs are trusted (no depth limit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace bonn::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int n) : v_(static_cast<std::int64_t>(n)) {}
+  Json(std::int64_t n) : v_(n) {}
+  Json(std::uint64_t n) : v_(static_cast<std::int64_t>(n)) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_number() const {
+    return type() == Type::kInt || type() == Type::kDouble;
+  }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const {
+    return type() == Type::kDouble
+               ? static_cast<std::int64_t>(std::get<double>(v_))
+               : std::get<std::int64_t>(v_);
+  }
+  double as_double() const {
+    return type() == Type::kInt
+               ? static_cast<double>(std::get<std::int64_t>(v_))
+               : std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& items() const { return std::get<Array>(v_); }
+  const Object& members() const { return std::get<Object>(v_); }
+
+  std::size_t size() const {
+    return is_array() ? items().size() : members().size();
+  }
+  const Json& at(std::size_t i) const { return items()[i]; }
+
+  /// Object lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+
+  /// Append to an array value.
+  void push(Json v) { std::get<Array>(v_).push_back(std::move(v)); }
+  /// Set a key on an object value (appends; no dedup). Returns *this so
+  /// report-building code can chain.
+  Json& set(std::string key, Json v);
+
+  /// Compact serialization (indent == 0) or pretty-printed.
+  std::string dump(int indent = 0) const;
+
+  /// Strict-enough parser for our own output; nullopt on malformed input
+  /// or trailing garbage.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace bonn::obs

@@ -1,0 +1,54 @@
+#include "src/obs/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bonn::obs {
+
+namespace detail {
+
+namespace {
+int env_log_level() {
+  const char* v = std::getenv("BONN_LOG");
+  if (!v || !*v) return static_cast<int>(LogLevel::kOff);
+  if (v[0] >= '0' && v[0] <= '4') return v[0] - '0';
+  if (std::strncmp(v, "err", 3) == 0) return static_cast<int>(LogLevel::kError);
+  if (std::strncmp(v, "warn", 4) == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strncmp(v, "info", 4) == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strncmp(v, "debug", 5) == 0) {
+    return static_cast<int>(LogLevel::kDebug);
+  }
+  return static_cast<int>(LogLevel::kOff);
+}
+}  // namespace
+
+std::atomic<int> g_log_level{env_log_level()};
+
+}  // namespace detail
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+void logf(LogLevel level, const char* fmt, ...) noexcept {
+  static const char* const kNames[] = {"off", "error", "warn", "info",
+                                       "debug"};
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 4) idx = 0;
+  std::fprintf(stderr, "[bonn:%s] %s\n", kNames[idx], buf);
+}
+
+}  // namespace bonn::obs

@@ -1,0 +1,48 @@
+// Tiny leveled logging for library code.
+//
+// Library modules must never write to stdout/stderr unconditionally; they
+// log through here instead.  The default level is kOff, so a quiet build
+// stays quiet; set BONN_LOG=error|warn|info|debug (or a number 1-4) in the
+// environment, or call set_log_level(), to see output on stderr.
+#pragma once
+
+#include <atomic>
+
+namespace bonn::obs {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+}
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+inline bool log_on(LogLevel level) noexcept {
+  return static_cast<int>(level) <=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+/// printf-style message to stderr with a "[bonn:<level>] " prefix and a
+/// trailing newline.  Call through BONN_LOGF so disabled levels cost only
+/// the log_on branch.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...) noexcept;
+
+#define BONN_LOGF(level, ...)                                 \
+  do {                                                        \
+    if (::bonn::obs::log_on(level)) {                         \
+      ::bonn::obs::logf(level, __VA_ARGS__);                  \
+    }                                                         \
+  } while (0)
+
+}  // namespace bonn::obs

@@ -1,0 +1,203 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace bonn::obs {
+
+namespace detail {
+
+namespace {
+bool env_default_enabled() {
+  const char* v = std::getenv("BONN_OBS");
+  return !(v && (v[0] == '0' || v[0] == 'n' || v[0] == 'N' || v[0] == 'f' ||
+                 v[0] == 'F'));
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{env_default_enabled()};
+
+int shard_index() noexcept {
+  static std::atomic<int> next{0};
+  thread_local const int idx =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return idx;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on && kCompiledIn, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const noexcept {
+  std::int64_t total = 0;
+  for (const Slot& s : slots_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::count() const noexcept {
+  std::int64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& b : s.buckets) {
+      total += b.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::int64_t Histogram::sum() const noexcept {
+  std::int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::int64_t Histogram::bucket_count(int b) const noexcept {
+  std::int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.buckets[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // node-based maps: handle addresses stay stable across registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<MetricSample> out;
+  for (const auto& [name, c] : impl_->counters) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricType::kCounter;
+    s.count = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricType::kGauge;
+    s.value = g->value();
+    s.available = g->was_set();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    MetricSample s;
+    s.name = name;
+    s.type = MetricType::kHistogram;
+    s.count = h->count();
+    s.value = s.count > 0 ? static_cast<double>(h->sum()) /
+                                static_cast<double>(s.count)
+                          : 0.0;
+    s.buckets.resize(Histogram::kBuckets);
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      s.buckets[static_cast<std::size_t>(b)] = h->bucket_count(b);
+    }
+    while (!s.buckets.empty() && s.buckets.back() == 0) s.buckets.pop_back();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+Json metrics_json() {
+  Json out = Json::object();
+  for (const MetricSample& s : registry().snapshot()) {
+    switch (s.type) {
+      case MetricType::kCounter:
+        out.set(s.name, Json(s.count));
+        break;
+      case MetricType::kGauge:
+        out.set(s.name, s.available ? Json(s.value) : Json());
+        break;
+      case MetricType::kHistogram: {
+        Json h = Json::object();
+        h.set("count", Json(s.count));
+        h.set("mean", Json(s.value));
+        // Build the array out-of-line with a reserve: GCC 12 -O2 flags
+        // variant moves during vector growth as maybe-uninitialized.
+        Json::Array buckets;
+        buckets.reserve(s.buckets.size());
+        for (const std::int64_t b : s.buckets) buckets.emplace_back(b);
+        h.set("buckets", Json(std::move(buckets)));
+        out.set(s.name, std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bonn::obs

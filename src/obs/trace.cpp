@@ -1,0 +1,142 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/obs/json.hpp"
+
+namespace bonn::obs {
+
+std::atomic<bool> Trace::g_active{false};
+
+namespace {
+
+struct Event {
+  const char* name;
+  std::uint64_t ts;
+  std::uint64_t dur;    ///< "X" events only
+  double value;         ///< "C" events only
+  std::uint32_t tid;
+  char ph;              ///< 'X' or 'C'
+};
+
+struct ThreadBuffer {
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+  // Cap per thread: a span-happy run cannot eat unbounded memory.  Overflow
+  // is counted and surfaced via Trace::dropped().
+  static constexpr std::size_t kCap = 1u << 20;
+};
+
+struct Globals {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::string path;
+  std::atomic<std::uint64_t> dropped{0};
+  const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+Globals& globals() {
+  static Globals* g = new Globals;  // leaked: threads may outlive main
+  return *g;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buf = [] {
+    Globals& g = globals();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.buffers.push_back(std::make_unique<ThreadBuffer>());
+    g.buffers.back()->tid = static_cast<std::uint32_t>(g.buffers.size());
+    return g.buffers.back().get();
+  }();
+  return *buf;
+}
+
+void record(const Event& e) {
+  ThreadBuffer& buf = local_buffer();
+  if (buf.events.size() >= ThreadBuffer::kCap) {
+    globals().dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(e);
+}
+
+}  // namespace
+
+std::uint64_t Trace::now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - globals().epoch)
+          .count());
+}
+
+bool Trace::start(std::string path) {
+  Globals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (active()) return false;
+  for (auto& buf : g.buffers) buf->events.clear();
+  g.dropped.store(0, std::memory_order_relaxed);
+  g.path = std::move(path);
+  g_active.store(true, std::memory_order_release);
+  return true;
+}
+
+bool Trace::stop() {
+  if (!active()) return false;
+  g_active.store(false, std::memory_order_release);
+  Globals& g = globals();
+  std::lock_guard<std::mutex> lock(g.mu);
+
+  std::vector<Event> all;
+  for (const auto& buf : g.buffers) {
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  std::sort(all.begin(), all.end(),
+            [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  Json events = Json::array();
+  for (const Event& e : all) {
+    Json ev = Json::object();
+    ev.set("name", Json(e.name));
+    ev.set("ph", Json(std::string(1, e.ph)));
+    ev.set("ts", Json(static_cast<std::int64_t>(e.ts)));
+    if (e.ph == 'X') {
+      ev.set("dur", Json(static_cast<std::int64_t>(e.dur)));
+    }
+    ev.set("pid", Json(1));
+    ev.set("tid", Json(static_cast<std::int64_t>(e.tid)));
+    if (e.ph == 'C') {
+      Json args = Json::object();
+      args.set("value", Json(e.value));
+      ev.set("args", std::move(args));
+    }
+    events.push(std::move(ev));
+  }
+
+  std::ofstream out(g.path);
+  if (!out) return false;
+  out << events.dump(1) << '\n';
+  return static_cast<bool>(out);
+}
+
+void Trace::complete_event(const char* name, std::uint64_t ts_us,
+                           std::uint64_t dur_us) noexcept {
+  if (!active()) return;
+  record({name, ts_us, dur_us, 0.0, local_buffer().tid, 'X'});
+}
+
+void Trace::counter_event(const char* name, double value) noexcept {
+  if (!active()) return;
+  record({name, now_us(), 0, value, local_buffer().tid, 'C'});
+}
+
+std::uint64_t Trace::dropped() noexcept {
+  return globals().dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace bonn::obs

@@ -1,0 +1,73 @@
+// Scoped span tracing in the Chrome trace-event format.
+//
+// BONN_TRACE_SPAN("global.sharing") records one "X" (complete) event per
+// scope; Trace::counter_event records "C" events (e.g. the λ trajectory over
+// sharing phases).  Events go into per-thread buffers — no lock on the hot
+// path, so spans compose with util/thread_pool — and Trace::stop() merges
+// and writes a JSON array that chrome://tracing and Perfetto open directly.
+//
+// Inactive tracing costs one relaxed load per span; span names must be
+// string literals (or otherwise outlive the session).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace bonn::obs {
+
+class Trace {
+ public:
+  /// Begin collecting into fresh buffers; the file is written by stop().
+  /// Returns false (and changes nothing) if a session is already active.
+  static bool start(std::string path);
+  /// Deactivate, merge all per-thread buffers, write the JSON file.
+  /// Returns false if writing failed (or no session was active).
+  static bool stop();
+
+  static bool active() noexcept {
+    return g_active.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds on the steady clock since process start.
+  static std::uint64_t now_us() noexcept;
+
+  /// Record a complete ("X") event; no-op when inactive.
+  static void complete_event(const char* name, std::uint64_t ts_us,
+                             std::uint64_t dur_us) noexcept;
+  /// Record a counter ("C") event sampling `value` now; no-op when inactive.
+  static void counter_event(const char* name, double value) noexcept;
+
+  /// Events dropped because a per-thread buffer hit its cap (diagnostic).
+  static std::uint64_t dropped() noexcept;
+
+ private:
+  friend struct TraceGlobals;
+  static std::atomic<bool> g_active;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(name), start_(Trace::active() ? Trace::now_us() : kInactive) {}
+  ~TraceSpan() {
+    if (start_ != kInactive) {
+      Trace::complete_event(name_, start_, Trace::now_us() - start_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static constexpr std::uint64_t kInactive = ~std::uint64_t{0};
+  const char* name_;
+  std::uint64_t start_;
+};
+
+#define BONN_OBS_CAT2(a, b) a##b
+#define BONN_OBS_CAT(a, b) BONN_OBS_CAT2(a, b)
+/// RAII span covering the rest of the enclosing scope.
+#define BONN_TRACE_SPAN(name) \
+  ::bonn::obs::TraceSpan BONN_OBS_CAT(bonn_trace_span_, __LINE__)(name)
+
+}  // namespace bonn::obs

@@ -3,7 +3,12 @@
 #include "src/router/track_assign.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/router/run_report.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/timer.hpp"
 
@@ -19,9 +24,80 @@ std::pair<int, int> auto_tiles(const Chip& chip) {
 
 namespace {
 
+/// Per-flow observability session: applies ObsParams (with the BONN_TRACE /
+/// BONN_REPORT / BONN_OBS env fallbacks), resets the registry so the run
+/// report describes exactly this run, and owns the trace session if this
+/// flow started one.
+class FlowObs {
+ public:
+  /// `span_name` must be a string literal (the trace keeps the pointer).
+  FlowObs(const char* flow_name, const char* span_name, const ObsParams& p)
+      : flow_name_(flow_name), span_name_(span_name) {
+    const char* obs_env = std::getenv("BONN_OBS");
+    const bool env_off = obs_env && obs_env[0] == '0';
+    metrics_ = p.metrics && !env_off && obs::kCompiledIn;
+    obs::set_enabled(metrics_);
+    if (metrics_) obs::registry().reset();
+
+    trace_path_ = p.trace_path;
+    if (trace_path_.empty()) {
+      if (const char* env = std::getenv("BONN_TRACE")) trace_path_ = env;
+    }
+    if (!trace_path_.empty()) started_trace_ = obs::Trace::start(trace_path_);
+    if (obs::Trace::active()) flow_start_us_ = obs::Trace::now_us();
+
+    report_path_ = p.report_path;
+    if (report_path_.empty()) {
+      if (const char* env = std::getenv("BONN_REPORT")) report_path_ = env;
+    }
+  }
+
+  /// Publish flow-level summary metrics and write trace + report files.
+  void finish(const FlowReport& report) {
+    if (metrics_) {
+      obs::gauge("router.total_seconds").set(report.total_seconds);
+      obs::gauge("router.netlength_dbu")
+          .set(static_cast<double>(report.netlength));
+      obs::gauge("router.vias").set(static_cast<double>(report.vias));
+      obs::gauge("router.drc_errors")
+          .set(static_cast<double>(report.drc.errors()));
+      obs::counter("router.preroute_nets").add(report.preroute_nets);
+    }
+    // The whole-flow span is emitted here, not via BONN_TRACE_SPAN: a scoped
+    // span would only close after stop() has already written the file.
+    if (obs::Trace::active() && flow_start_us_ != kNoStart) {
+      obs::Trace::complete_event(span_name_, flow_start_us_,
+                                 obs::Trace::now_us() - flow_start_us_);
+    }
+    if (started_trace_) {
+      if (!obs::Trace::stop()) {
+        BONN_LOGF(obs::LogLevel::kWarn, "failed to write trace to %s",
+                  trace_path_.c_str());
+      }
+    }
+    if (!report_path_.empty()) {
+      if (!write_run_report(report_path_, flow_name_, report)) {
+        BONN_LOGF(obs::LogLevel::kWarn, "failed to write run report to %s",
+                  report_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t kNoStart = ~std::uint64_t{0};
+  const char* flow_name_;
+  const char* span_name_;
+  bool metrics_ = false;
+  bool started_trace_ = false;
+  std::uint64_t flow_start_us_ = kNoStart;
+  std::string trace_path_;
+  std::string report_path_;
+};
+
 /// Shared tail: metrics, DRC audit, Table II lengths.
 void finalize_report(const Chip& chip, RoutingSpace& rs, FlowReport& report,
                      RoutingResult* out) {
+  BONN_TRACE_SPAN("router.finalize");
   const RoutingResult result = rs.result();
   report.netlength = result.total_wirelength();
   report.vias = result.via_count();
@@ -71,6 +147,7 @@ int preroute_local_nets(const Chip& chip, NetRouter& router,
 FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
                               RoutingResult* out) {
   Timer total;
+  FlowObs flow_obs("bonnroute", "flow.bonnroute", params.obs);
   FlowReport report;
   auto [nx, ny] = params.tiles_x > 0
                       ? std::pair<int, int>{params.tiles_x, params.tiles_y}
@@ -81,10 +158,16 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
 
   // §4.3 preprocessing first: access reservations consume routing space and
   // must be visible to the §2.5 capacity estimation.
-  router.precompute_access(params.detailed);
-  report.preroute_nets =
-      preroute_local_nets(chip, router, params.detailed, nx, ny,
-                          &report.detailed);
+  {
+    BONN_TRACE_SPAN("detailed.precompute_access");
+    router.precompute_access(params.detailed);
+  }
+  {
+    BONN_TRACE_SPAN("router.preroute_local_nets");
+    report.preroute_nets =
+        preroute_local_nets(chip, router, params.detailed, nx, ny,
+                            &report.detailed);
+  }
 
   // Global routing on capacities that already reflect the pre-routes.
   GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
@@ -94,6 +177,7 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
   // Wire spreading (§4.2): tiles the global router filled beyond 70 % get a
   // keep-free cost so the detailed router spreads into emptier regions.
   {
+    BONN_TRACE_SPAN("router.wire_spreading");
     const GlobalGraph& g = gr.graph();
     std::vector<double> usage(static_cast<std::size_t>(g.num_edges()), 0.0);
     for (const Net& n : chip.nets) {
@@ -122,6 +206,7 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
   report.br_seconds = total.seconds();
 
   if (params.run_cleanup) {
+    BONN_TRACE_SPAN("router.drc_cleanup");
     DrcCleanup cleanup(router);
     CleanupParams cp = params.cleanup;
     cp.reroute = params.detailed;
@@ -130,12 +215,14 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
   }
   report.total_seconds = total.seconds();
   finalize_report(chip, rs, report, out);
+  flow_obs.finish(report);
   return report;
 }
 
 FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
                         RoutingResult* out) {
   Timer total;
+  FlowObs flow_obs("isr", "flow.isr", params.obs);
   FlowReport report;
   auto [nx, ny] = params.tiles_x > 0
                       ? std::pair<int, int>{params.tiles_x, params.tiles_y}
@@ -152,7 +239,10 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
 
   // ISR track assignment: long-distance trunks on tracks, no DRC checking
   // (§1.2/§5.3); the gridless maze then closes pin-to-trunk connections.
-  assign_tracks(rs, gr, routes);
+  {
+    BONN_TRACE_SPAN("router.track_assign");
+    assign_tracks(rs, gr, routes);
+  }
 
   // ISR detailed: per-vertex gridless maze, greedy pin access.
   NetRouteParams dp = params.detailed;
@@ -165,6 +255,7 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
   report.br_seconds = total.seconds();
 
   if (params.run_cleanup) {
+    BONN_TRACE_SPAN("router.drc_cleanup");
     DrcCleanup cleanup(router);
     CleanupParams cp = params.cleanup;
     cp.reroute = dp;
@@ -173,6 +264,7 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
   }
   report.total_seconds = total.seconds();
   finalize_report(chip, rs, report, out);
+  flow_obs.finish(report);
   return report;
 }
 

@@ -12,12 +12,23 @@
 // Table I/III comparisons isolate the algorithmic differences.
 #pragma once
 
+#include <string>
+
 #include "src/detailed/net_router.hpp"
 #include "src/router/drc_cleanup.hpp"
 #include "src/router/isr_global.hpp"
 #include "src/router/metrics.hpp"
 
 namespace bonn {
+
+/// Observability switches per flow run.  Empty paths fall back to the
+/// BONN_TRACE / BONN_REPORT environment variables, so examples/ and bench/
+/// binaries can be traced without code changes.
+struct ObsParams {
+  bool metrics = true;      ///< populate the obs metrics registry
+  std::string trace_path;   ///< Chrome trace-event JSON (empty: BONN_TRACE)
+  std::string report_path;  ///< structured run report (empty: BONN_REPORT)
+};
 
 struct FlowParams {
   int tiles_x = 0;  ///< 0 = auto (≈50 tracks per tile, §2.1)
@@ -27,6 +38,7 @@ struct FlowParams {
   NetRouteParams detailed;
   CleanupParams cleanup;
   bool run_cleanup = true;
+  ObsParams obs;
 };
 
 struct FlowReport {

@@ -5,6 +5,8 @@
 #include <map>
 #include <queue>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/timer.hpp"
 
@@ -34,6 +36,7 @@ struct TwoDRoute {
 
 std::vector<SteinerSolution> IsrGlobalRouter::route(
     const IsrGlobalParams& params, IsrGlobalStats* stats) {
+  BONN_TRACE_SPAN("global.isr_route");
   Timer timer;
   const GlobalGraph& g = gr_->graph();
   const int nx = g.nx(), ny = g.ny();
@@ -334,6 +337,7 @@ std::vector<SteinerSolution> IsrGlobalRouter::route(
     out[static_cast<std::size_t>(n)] = std::move(sol);
   }
 
+  obs::counter("global.isr_reroutes").add(reroutes);
   if (stats) {
     stats->seconds = timer.seconds();
     stats->reroutes = reroutes;

@@ -23,19 +23,38 @@ ScenicStats count_scenic(const Chip& chip, const RoutingResult& result,
   return s;
 }
 
-double peak_memory_gb() {
+namespace {
+
+/// VmHWM in GB, or a negative value when /proc is unavailable (non-Linux)
+/// or the line is missing/unparsable.
+double read_peak_memory_gb() {
+#if defined(__linux__)
   std::ifstream status("/proc/self/status");
   std::string line;
   while (std::getline(status, line)) {
     if (line.rfind("VmHWM:", 0) == 0) {
       std::istringstream is(line.substr(6));
-      double kb = 0;
+      double kb = -1;
       is >> kb;
-      return kb / (1024.0 * 1024.0);
+      if (is && kb >= 0) return kb / (1024.0 * 1024.0);
+      break;
     }
   }
-  return 0.0;
+#endif
+  return -1.0;
 }
+
+}  // namespace
+
+double peak_memory_gb() {
+  // Graceful degradation off-Linux: a plain 0.0 (never NaN or garbage);
+  // callers that must distinguish "0 GB" from "unknown" check
+  // peak_memory_available() — the JSON run report writes null.
+  const double gb = read_peak_memory_gb();
+  return gb >= 0 ? gb : 0.0;
+}
+
+bool peak_memory_available() { return read_peak_memory_gb() >= 0; }
 
 std::vector<TerminalClassRow> terminal_class_table(
     const Chip& chip, const std::vector<Coord>& net_lengths) {

@@ -19,8 +19,12 @@ struct ScenicStats {
 ScenicStats count_scenic(const Chip& chip, const RoutingResult& result,
                          Coord length_floor = 5000);
 
-/// Peak resident memory of this process in GB (VmHWM), Linux only.
+/// Peak resident memory of this process in GB (VmHWM).  Linux only: on
+/// platforms without /proc (or when parsing fails) it returns 0.0 and
+/// peak_memory_available() is false, so reports can say "unavailable"
+/// instead of a misleading 0.
 double peak_memory_gb();
+bool peak_memory_available();
 
 /// Per-terminal-class netlength table (Table II): classes 2, 3, 4, 5-10,
 /// 11-20, >20 terminals; sums of routed length and of Steiner length.

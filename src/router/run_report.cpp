@@ -1,0 +1,100 @@
+#include "src/router/run_report.hpp"
+
+#include <fstream>
+
+#include "src/obs/metrics.hpp"
+#include "src/router/metrics.hpp"
+
+namespace bonn {
+
+using obs::Json;
+
+obs::Json flow_report_json(const std::string& flow_name,
+                           const FlowReport& report) {
+  Json doc = Json::object();
+  doc.set("schema", Json(1));
+  doc.set("flow", Json(flow_name));
+
+  Json seconds = Json::object();
+  seconds.set("total", Json(report.total_seconds));
+  seconds.set("bonnroute", Json(report.br_seconds));
+  seconds.set("cleanup", Json(report.cleanup_seconds));
+  doc.set("seconds", std::move(seconds));
+
+  Json quality = Json::object();
+  quality.set("netlength_dbu", Json(static_cast<std::int64_t>(report.netlength)));
+  quality.set("vias", Json(report.vias));
+  quality.set("scenic_over_25", Json(report.scenic.over_25));
+  quality.set("scenic_over_50", Json(report.scenic.over_50));
+  quality.set("preroute_nets", Json(report.preroute_nets));
+  Json drc = Json::object();
+  drc.set("diffnet", Json(report.drc.diffnet_violations));
+  drc.set("min_area", Json(report.drc.min_area_violations));
+  drc.set("notch", Json(report.drc.notch_violations));
+  drc.set("short_edge", Json(report.drc.short_edge_violations));
+  drc.set("min_seg", Json(report.drc.min_seg_violations));
+  drc.set("opens", Json(report.drc.opens));
+  drc.set("errors", Json(report.drc.errors()));
+  quality.set("drc", std::move(drc));
+  // null (not 0.0) when the platform cannot report peak RSS — a silent 0
+  // reads as "no memory used" in benchmark diffs.
+  quality.set("memory_gb",
+              peak_memory_available() ? Json(report.memory_gb) : Json());
+  doc.set("quality", std::move(quality));
+
+  Json global = Json::object();
+  global.set("seconds", Json(report.global.total_seconds));
+  global.set("alg2_seconds", Json(report.global.alg2_seconds));
+  global.set("rr_seconds", Json(report.global.rr_seconds));
+  global.set("lambda", Json(report.global.lambda));
+  global.set("oracle_calls",
+             Json(static_cast<std::int64_t>(report.global.oracle_calls)));
+  global.set("oracle_reuses",
+             Json(static_cast<std::int64_t>(report.global.oracle_reuses)));
+  global.set("nets_rechosen", Json(report.global.nets_rechosen));
+  global.set("fresh_routes", Json(report.global.fresh_routes));
+  global.set("overflowed_edges", Json(report.global.overflowed_edges));
+  doc.set("global", std::move(global));
+
+  Json isr = Json::object();
+  isr.set("seconds", Json(report.isr_global.seconds));
+  isr.set("overflowed_edges", Json(report.isr_global.overflowed_edges));
+  isr.set("reroutes", Json(report.isr_global.reroutes));
+  doc.set("isr_global", std::move(isr));
+
+  Json detailed = Json::object();
+  detailed.set("seconds", Json(report.detailed.seconds));
+  detailed.set("connections_routed", Json(report.detailed.connections_routed));
+  detailed.set("connections_failed", Json(report.detailed.connections_failed));
+  detailed.set("nets_failed", Json(report.detailed.nets_failed));
+  detailed.set("ripups", Json(report.detailed.ripups));
+  detailed.set("pi_p_used", Json(report.detailed.pi_p_used));
+  Json search = Json::object();
+  search.set("labels_created", Json(report.detailed.search.labels_created));
+  search.set("pops", Json(report.detailed.search.pops));
+  search.set("station_expansions",
+             Json(report.detailed.search.station_expansions));
+  search.set("fastgrid_hits", Json(report.detailed.search.fastgrid_hits));
+  search.set("fastgrid_misses", Json(report.detailed.search.fastgrid_misses));
+  detailed.set("search", std::move(search));
+  doc.set("detailed", std::move(detailed));
+
+  Json cleanup = Json::object();
+  cleanup.set("seconds", Json(report.cleanup.seconds));
+  cleanup.set("nets_rerouted", Json(report.cleanup.nets_rerouted));
+  cleanup.set("segments_extended", Json(report.cleanup.segments_extended));
+  doc.set("cleanup", std::move(cleanup));
+
+  doc.set("metrics", obs::metrics_json());
+  return doc;
+}
+
+bool write_run_report(const std::string& path, const std::string& flow_name,
+                      const FlowReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << flow_report_json(flow_name, report).dump(1) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace bonn

@@ -1,0 +1,27 @@
+// Structured JSON run report: one file per flow run, serializing the
+// FlowReport plus every metric in the observability registry.  This is the
+// machine-readable form of the paper's Tables I/III rows — two report files
+// diffed against each other is how a perf PR proves its effect.
+//
+// Schema (stable keys, additive evolution; see README "Observability"):
+//   { "schema": 1, "flow": "...", "seconds": {...}, "quality": {...},
+//     "global": {...}, "detailed": {...}, "cleanup": {...},
+//     "metrics": { "<name>": <counter int | gauge num | histogram obj> } }
+#pragma once
+
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/router/bonnroute.hpp"
+
+namespace bonn {
+
+/// Build the report document (includes a registry snapshot).
+obs::Json flow_report_json(const std::string& flow_name,
+                           const FlowReport& report);
+
+/// Serialize to `path` (pretty-printed); false on I/O failure.
+bool write_run_report(const std::string& path, const std::string& flow_name,
+                      const FlowReport& report);
+
+}  // namespace bonn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.hpp"
 #include "src/util/assert.hpp"
 
 namespace bonn {
@@ -103,10 +104,14 @@ void ShapeGrid::apply(const Shape& s, RipupLevel ripup, bool inserting) {
 }
 
 void ShapeGrid::insert(const Shape& s, RipupLevel ripup) {
+  static obs::Counter& c = obs::counter("shapegrid.inserts");
+  c.add();
   apply(s, ripup, /*inserting=*/true);
 }
 
 void ShapeGrid::remove(const Shape& s, RipupLevel ripup) {
+  static obs::Counter& c = obs::counter("shapegrid.removes");
+  c.add();
   apply(s, ripup, /*inserting=*/false);
 }
 
@@ -120,6 +125,9 @@ void ShapeGrid::remove_all(std::span<const Shape> shapes, RipupLevel ripup) {
 
 void ShapeGrid::query(int global_layer, const Rect& window,
                       const std::function<void(const GridShape&)>& fn) const {
+  // The paper's Fig. 3 rate statistic; one sharded relaxed add per query.
+  static obs::Counter& c = obs::counter("shapegrid.queries");
+  c.add();
   if (global_layer < 0 || global_layer >= static_cast<int>(layers_.size())) {
     return;
   }

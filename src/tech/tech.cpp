@@ -76,7 +76,8 @@ Tech Tech::make_test(int layers, Dir first_dir) {
   for (int i = 0; i < layers; ++i) {
     WiringLayer l;
     l.id = i;
-    l.name = "M" + std::to_string(i + 1);
+    l.name = "M";
+    l.name += std::to_string(i + 1);
     l.pref = (i % 2 == 0) ? first_dir : orthogonal(first_dir);
     l.pitch = 100;
     l.min_width = 50;
@@ -95,7 +96,8 @@ Tech Tech::make_test(int layers, Dir first_dir) {
   for (int i = 0; i + 1 < layers; ++i) {
     ViaLayer v;
     v.id = i;
-    v.name = "V" + std::to_string(i + 1);
+    v.name = "V";
+    v.name += std::to_string(i + 1);
     v.cut_size = 50;
     v.cut_spacing = 60;
     v.interlayer_spacing = (i + 2 < layers) ? 40 : 0;

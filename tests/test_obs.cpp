@@ -1,0 +1,280 @@
+// Observability module (src/obs): JSON round-trips, the metrics registry
+// under concurrency, log-scale histogram bucketing, trace-event output, the
+// kill switch, and the structured run report.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/obs/log.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/router/bonnroute.hpp"
+#include "src/router/run_report.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace bonn {
+namespace {
+
+
+/// Metric-recording expectations only hold when instrumentation is compiled
+/// in (-DBONN_OBS=ON, the default).
+#define BONN_REQUIRE_OBS() \
+  do {                                                             \
+    if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DBONN_OBS=OFF"; \
+  } while (0)
+
+std::string temp_path(const char* stem) {
+  return std::string(::testing::TempDir()) + stem;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Json, BuildsAndDumps) {
+  obs::Json doc = obs::Json::object();
+  doc.set("int", std::int64_t{42})
+      .set("neg", std::int64_t{-7})
+      .set("str", "a \"quoted\"\nline")
+      .set("real", 2.5)
+      .set("none", nullptr)
+      .set("flag", true);
+  obs::Json arr = obs::Json::array();
+  arr.push(1);
+  arr.push(2);
+  doc.set("arr", std::move(arr));
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\"int\":42"), std::string::npos);
+  EXPECT_NE(text.find("\\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_NE(text.find("\"none\":null"), std::string::npos);
+  // Insertion order is preserved (reports diff cleanly).
+  EXPECT_LT(text.find("\"int\""), text.find("\"str\""));
+}
+
+TEST(Json, RoundTrips) {
+  obs::Json doc = obs::Json::object();
+  doc.set("count", std::int64_t{1} << 53).set("mean", 0.125);
+  obs::Json arr = obs::Json::array();
+  arr.push("x");
+  arr.push(nullptr);
+  doc.set("items", std::move(arr));
+  const auto back = obs::Json::parse(doc.dump(/*indent=*/2));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_NE(back->find("count"), nullptr);
+  EXPECT_EQ(back->find("count")->as_int(), std::int64_t{1} << 53);
+  EXPECT_DOUBLE_EQ(back->find("mean")->as_double(), 0.125);
+  ASSERT_NE(back->find("items"), nullptr);
+  EXPECT_EQ(back->find("items")->size(), 2u);
+  EXPECT_TRUE(back->find("items")->at(1).is_null());
+}
+
+TEST(Json, RejectsMalformed) {
+  EXPECT_FALSE(obs::Json::parse("{").has_value());
+  EXPECT_FALSE(obs::Json::parse("[1,2,]").has_value());
+  EXPECT_FALSE(obs::Json::parse("{} trailing").has_value());
+  EXPECT_FALSE(obs::Json::parse("\"unterminated").has_value());
+  EXPECT_TRUE(obs::Json::parse(" { \"a\" : [ true , false ] } ").has_value());
+}
+
+TEST(Json, ParsesEscapes) {
+  const auto v = obs::Json::parse(R"("aA\t\\b")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "aA\t\\b");
+}
+
+TEST(Metrics, CounterConcurrentIncrements) {
+  BONN_REQUIRE_OBS();
+  obs::set_enabled(true);
+  obs::Counter& c = obs::counter("test.obs.concurrent");
+  c.reset();
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 1000;
+  ThreadPool pool(8);
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (int i = 0; i < kPerTask; ++i) c.add();
+  });
+  EXPECT_EQ(c.value(), std::int64_t{kTasks} * kPerTask);
+  // Handles are stable: looking the name up again hits the same counter.
+  EXPECT_EQ(&obs::counter("test.obs.concurrent"), &c);
+}
+
+TEST(Metrics, KillSwitchStopsRecording) {
+  BONN_REQUIRE_OBS();
+  obs::Counter& c = obs::counter("test.obs.killswitch");
+  c.reset();
+  obs::set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 0);
+  obs::set_enabled(true);
+  c.add(3);
+  EXPECT_EQ(c.value(), 3);
+}
+
+TEST(Metrics, HistogramBuckets) {
+  BONN_REQUIRE_OBS();
+  obs::set_enabled(true);
+  // Static bucket math first: bucket b covers [2^(b-1), 2^b), bucket 0 = {0}.
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3);
+  EXPECT_EQ(obs::Histogram::bucket_of((std::int64_t{1} << 40)),
+            obs::Histogram::kBuckets - 1);
+  EXPECT_EQ(obs::Histogram::bucket_lo(3), 4);
+
+  obs::Histogram& h = obs::histogram("test.obs.hist");
+  h.reset();
+  h.record(0);
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 1006);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(1000)), 1);
+}
+
+TEST(Metrics, GaugeAvailability) {
+  BONN_REQUIRE_OBS();
+  obs::set_enabled(true);
+  obs::Gauge& g = obs::gauge("test.obs.gauge");
+  g.reset();
+  EXPECT_FALSE(g.was_set());
+  g.set(1.5);
+  EXPECT_TRUE(g.was_set());
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(Metrics, SnapshotAndJson) {
+  BONN_REQUIRE_OBS();
+  obs::set_enabled(true);
+  obs::counter("test.obs.snap_c").reset();
+  obs::counter("test.obs.snap_c").add(7);
+  obs::gauge("test.obs.snap_g").set(0.5);
+  const auto snap = obs::registry().snapshot();
+  bool saw_c = false;
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name) << "snapshot must be sorted";
+  }
+  for (const auto& s : snap) {
+    if (s.name == "test.obs.snap_c") {
+      saw_c = true;
+      EXPECT_EQ(s.count, 7);
+    }
+  }
+  EXPECT_TRUE(saw_c);
+  const obs::Json j = obs::metrics_json();
+  ASSERT_NE(j.find("test.obs.snap_c"), nullptr);
+  EXPECT_EQ(j.find("test.obs.snap_c")->as_int(), 7);
+  ASSERT_NE(j.find("test.obs.snap_g"), nullptr);
+  EXPECT_DOUBLE_EQ(j.find("test.obs.snap_g")->as_double(), 0.5);
+}
+
+TEST(Trace, WritesParseableChromeEvents) {
+  const std::string path = temp_path("bonn_trace_test.json");
+  ASSERT_TRUE(obs::Trace::start(path));
+  EXPECT_FALSE(obs::Trace::start(path)) << "second start must be rejected";
+  {
+    BONN_TRACE_SPAN("test.outer");
+    ThreadPool pool(4);
+    pool.parallel_for(8, [&](std::size_t) { BONN_TRACE_SPAN("test.worker"); });
+    obs::Trace::counter_event("test.level", 2.5);
+  }
+  ASSERT_TRUE(obs::Trace::stop());
+  EXPECT_FALSE(obs::Trace::stop()) << "stop without a session must fail";
+
+  const auto doc = obs::Json::parse(slurp(path));
+  ASSERT_TRUE(doc.has_value()) << "trace file must be valid JSON";
+  ASSERT_TRUE(doc->is_array());
+  ASSERT_GE(doc->size(), 10u);  // 1 outer + 8 workers + 1 counter
+  std::set<std::string> names;
+  std::uint64_t prev_ts = 0;
+  for (std::size_t i = 0; i < doc->size(); ++i) {
+    const obs::Json& e = doc->at(i);
+    ASSERT_TRUE(e.is_object());
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      ASSERT_NE(e.find(key), nullptr) << "event missing " << key;
+    }
+    const std::string& ph = e.find("ph")->as_string();
+    EXPECT_TRUE(ph == "X" || ph == "C") << ph;
+    if (ph == "X") {
+      EXPECT_NE(e.find("dur"), nullptr);
+    }
+    if (ph == "C") {
+      ASSERT_NE(e.find("args"), nullptr);
+    }
+    const auto ts = static_cast<std::uint64_t>(e.find("ts")->as_int());
+    EXPECT_GE(ts, prev_ts) << "events must be sorted by timestamp";
+    prev_ts = ts;
+    names.insert(e.find("name")->as_string());
+  }
+  EXPECT_TRUE(names.count("test.outer"));
+  EXPECT_TRUE(names.count("test.worker"));
+  EXPECT_TRUE(names.count("test.level"));
+  EXPECT_EQ(obs::Trace::dropped(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, InactiveSessionRecordsNothing) {
+  ASSERT_FALSE(obs::Trace::active());
+  // Must be harmless no-ops.
+  obs::Trace::complete_event("test.noop", 0, 1);
+  obs::Trace::counter_event("test.noop", 1.0);
+  { BONN_TRACE_SPAN("test.noop"); }
+}
+
+TEST(RunReport, RoundTripsThroughJson) {
+  BONN_REQUIRE_OBS();
+  obs::set_enabled(true);
+  obs::counter("test.obs.report_marker").reset();
+  obs::counter("test.obs.report_marker").add(11);
+  FlowReport rep;
+  rep.total_seconds = 1.25;
+  rep.netlength = 123456;
+  rep.vias = 789;
+  rep.preroute_nets = 4;
+  rep.global.oracle_calls = 17;
+  const obs::Json doc = flow_report_json("bonnroute", rep);
+  EXPECT_EQ(doc.find("schema")->as_int(), 1);
+  EXPECT_EQ(doc.find("flow")->as_string(), "bonnroute");
+  ASSERT_NE(doc.find("quality"), nullptr);
+  EXPECT_EQ(doc.find("quality")->find("netlength_dbu")->as_int(), 123456);
+  EXPECT_EQ(doc.find("quality")->find("vias")->as_int(), 789);
+  ASSERT_NE(doc.find("global"), nullptr);
+  EXPECT_EQ(doc.find("global")->find("oracle_calls")->as_int(), 17);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_EQ(doc.find("metrics")->find("test.obs.report_marker")->as_int(), 11);
+
+  const std::string path = temp_path("bonn_report_test.json");
+  ASSERT_TRUE(write_run_report(path, "bonnroute", rep));
+  const auto back = obs::Json::parse(slurp(path));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("flow")->as_string(), "bonnroute");
+  EXPECT_EQ(back->find("quality")->find("vias")->as_int(), 789);
+  std::remove(path.c_str());
+}
+
+TEST(Log, LevelGate) {
+  obs::set_log_level(obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::log_on(obs::LogLevel::kError));
+  obs::set_log_level(obs::LogLevel::kWarn);
+  EXPECT_TRUE(obs::log_on(obs::LogLevel::kError));
+  EXPECT_TRUE(obs::log_on(obs::LogLevel::kWarn));
+  EXPECT_FALSE(obs::log_on(obs::LogLevel::kDebug));
+  obs::set_log_level(obs::LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace bonn

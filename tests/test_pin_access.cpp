@@ -61,7 +61,9 @@ TEST_F(PinAccessFixture, TauFeasibleSegments) {
           chip_.tech.wiring[static_cast<std::size_t>(w.layer)].min_seg_len;
       EXPECT_GE(w.length(), std::min<Coord>(tau, w.length() == 0 ? 0 : tau))
           << "segment shorter than tau";
-      if (w.length() > 0) EXPECT_GE(w.length(), tau);
+      if (w.length() > 0) {
+        EXPECT_GE(w.length(), tau);
+      }
     }
   }
 }

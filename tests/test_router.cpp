@@ -2,8 +2,16 @@
 // generated chip, metrics, ISR global router, DRC cleanup.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "src/db/instance_gen.hpp"
 #include "src/geom/rsmt.hpp"
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/router/bonnroute.hpp"
 
 namespace bonn {
@@ -194,6 +202,65 @@ TEST(Audit, NotchExemptsViaPads) {
   result.net_paths[0].push_back(q);
   const auto r2 = audit_routing(chip, result);
   EXPECT_GT(r2.notch_violations, base_notches);
+}
+
+TEST(Flows, ObservabilityCoversBothPhases) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with -DBONN_OBS=OFF";
+  // A routed flow must leave core counters behind in the registry (the
+  // acceptance criterion: ≥10 metrics from ≥4 modules), and the trace /
+  // run-report files requested through FlowParams must come out as valid
+  // JSON with events spanning the global and detailed phases.
+  const std::string trace_path =
+      std::string(::testing::TempDir()) + "bonn_flow_trace.json";
+  const std::string report_path =
+      std::string(::testing::TempDir()) + "bonn_flow_report.json";
+  const Chip chip = generate_chip(small_params());
+  FlowParams fp = fast_flow();
+  fp.obs.trace_path = trace_path;
+  fp.obs.report_path = report_path;
+  run_bonnroute_flow(chip, fp, nullptr);
+
+  // Core counters populated by the hot paths.
+  EXPECT_GT(obs::counter("global.oracle_calls").value(), 0);
+  EXPECT_GT(obs::counter("detailed.interval_pops").value(), 0);
+  EXPECT_GT(obs::counter("shapegrid.queries").value(), 0);
+  const auto snap = obs::registry().snapshot();
+  std::set<std::string> modules;
+  int populated = 0;
+  for (const auto& s : snap) {
+    const bool live = s.count > 0 || (s.type == obs::MetricType::kGauge &&
+                                      s.available);
+    if (!live) continue;
+    ++populated;
+    modules.insert(s.name.substr(0, s.name.find('.')));
+  }
+  EXPECT_GE(populated, 10);
+  EXPECT_GE(modules.size(), 4u) << "metrics must span several modules";
+
+  auto slurp = [](const std::string& p) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const auto trace = obs::Json::parse(slurp(trace_path));
+  ASSERT_TRUE(trace.has_value()) << "trace must be valid JSON";
+  ASSERT_TRUE(trace->is_array());
+  std::set<std::string> span_names;
+  for (std::size_t i = 0; i < trace->size(); ++i) {
+    span_names.insert(trace->at(i).find("name")->as_string());
+  }
+  EXPECT_TRUE(span_names.count("global.sharing"));
+  EXPECT_TRUE(span_names.count("detailed.route_all"));
+  EXPECT_TRUE(span_names.count("flow.bonnroute"));
+
+  const auto report = obs::Json::parse(slurp(report_path));
+  ASSERT_TRUE(report.has_value()) << "run report must be valid JSON";
+  EXPECT_EQ(report->find("flow")->as_string(), "bonnroute");
+  ASSERT_NE(report->find("metrics"), nullptr);
+  EXPECT_GE(report->find("metrics")->size(), 10u);
+  std::remove(trace_path.c_str());
+  std::remove(report_path.c_str());
 }
 
 TEST(Flows, LayerCorridorKeepsConnectivity) {

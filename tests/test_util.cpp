@@ -96,7 +96,7 @@ TEST(Checks, BonnCheckThrows) {
 TEST(Timer, MeasuresElapsed) {
   Timer t;
   volatile double x = 0;
-  for (int i = 0; i < 1000000; ++i) x += i;
+  for (int i = 0; i < 1000000; ++i) x = x + i;
   EXPECT_GE(t.seconds(), 0.0);
   StopWatch w;
   w.start();

@@ -137,5 +137,27 @@ int main() {
               isr_via_per > 0
                   ? 100.0 * (br_via_per - isr_via_per) / isr_via_per
                   : 0.0);
+
+  // §5.1 thread scaling: detailed-routing wall time of the BR+ISR flow on
+  // the largest suite chip at 1/2/4 worker threads.  The metrics must be
+  // identical at every thread count (the determinism guarantee); only the
+  // wall time may move.
+  std::printf("\nDetailed routing thread scaling (largest chip, §5.1):\n");
+  std::printf("  %-8s %12s %12s %11s %9s\n", "threads", "detailed[s]",
+              "total[s]", "netlen[mm]", "#vias");
+  const Chip scale_chip = generate_chip(suite.back());
+  double base_detailed = 0;
+  for (const int threads : {1, 2, 4}) {
+    FlowParams fp;
+    fp.global.sharing.phases = 6;
+    fp.threads = threads;
+    const FlowReport r = run_bonnroute_flow(scale_chip, fp, nullptr);
+    if (threads == 1) base_detailed = r.detailed.seconds;
+    std::printf("  %-8d %12.2f %12.2f %11.3f %9lld   (%.2fx)\n", threads,
+                r.detailed.seconds, r.total_seconds,
+                static_cast<double>(r.netlength) / 1e6, (long long)r.vias,
+                r.detailed.seconds > 0 ? base_detailed / r.detailed.seconds
+                                       : 0.0);
+  }
   return 0;
 }

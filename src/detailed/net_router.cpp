@@ -162,15 +162,26 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
   const Net& n = chip.nets[static_cast<std::size_t>(net)];
   const TrackGraph& tg = rs_->tg();
 
+  DetailedShared& sh = *shared_;
+
+  // A blocker may be ripped only if it is a real net and — under the §5.1
+  // window discipline — inside this window's rip mask.
+  auto rippable = [&](int b) {
+    return b >= 0 &&
+           (!params.rip_allowed ||
+            (*params.rip_allowed)[static_cast<std::size_t>(b)] != 0);
+  };
+
   // Pin access catalogues & conflict-free selection (lazy, §4.3) — only
   // built once the net actually needs routing.
   auto ensure_access = [&]() {
     bool need_selection = false;
     for (int pid : n.pins) {
+      const auto p = static_cast<std::size_t>(pid);
       // Recompute missing *and* empty catalogues — an empty catalogue may
       // stem from a transiently congested neighbourhood (§4.3 dynamic
       // regeneration).
-      if (!catalogues_.count(pid) || catalogues_[pid].empty()) {
+      if (!sh.catalogue_built[p] || sh.catalogues[p].empty()) {
         PinAccessParams ap = params.access;
         ap.wiretype = n.wiretype;
         // Wide nets: let the (tapered) access stub climb above the row
@@ -179,19 +190,22 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
           ap.access_layers = std::max(ap.access_layers, 4);
           ap.layer_bonus = 600;
         }
-        catalogues_[pid] =
-            access_.catalogue(chip.pins[static_cast<std::size_t>(pid)], ap);
+        sh.catalogues[p] =
+            access_.catalogue(chip.pins[p], ap);
+        sh.catalogue_built[p] = 1;
         need_selection = true;
       }
     }
     if (need_selection) {
       std::vector<std::vector<AccessPath>> cats;
-      for (int pid : n.pins) cats.push_back(catalogues_[pid]);
+      for (int pid : n.pins) {
+        cats.push_back(sh.catalogues[static_cast<std::size_t>(pid)]);
+      }
       const auto sel = params.greedy_access
                            ? access_.greedy_selection(cats)
                            : access_.conflict_free_selection(cats);
       for (std::size_t i = 0; i < n.pins.size(); ++i) {
-        selected_[n.pins[i]] = sel[i];
+        sh.selected[static_cast<std::size_t>(n.pins[i])] = sel[i];
       }
     }
   };
@@ -225,16 +239,16 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
 
     auto add_comp = [&](const Comp& c, bool as_source) {
       for (int pid : c.pins) {
-        const auto& cat = catalogues_[pid];
+        const auto& cat = sh.catalogues[static_cast<std::size_t>(pid)];
         const bool committed_access =
-            access_committed_.count(pid) && access_committed_[pid];
+            sh.access_committed[static_cast<std::size_t>(pid)] != 0;
         for (std::size_t a = 0; a < cat.size(); ++a) {
           // If an access path is already committed, only its endpoint
           // remains (cost 0); otherwise every catalogue path is an entry
           // point with its cost as offset.
           if (committed_access &&
               static_cast<int>(a) !=
-                  selected_[pid]) {
+                  sh.selected[static_cast<std::size_t>(pid)]) {
             continue;
           }
           const Coord offset = committed_access ? 0 : cat[a].cost;
@@ -296,14 +310,14 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     // upper layers the global router chose); short nets need the freedom of
     // the full stack around the row clutter.
     bool restrict_layers = params.layer_corridor && rip_depth == 0;
-    if (global_ && global_routes_ &&
-        !(*global_routes_)[static_cast<std::size_t>(net)].edges.empty()) {
-      const auto& sol = (*global_routes_)[static_cast<std::size_t>(net)];
-      area = global_->corridor(sol, params.corridor_halo);
+    if (sh.global && sh.global_routes &&
+        !(*sh.global_routes)[static_cast<std::size_t>(net)].edges.empty()) {
+      const auto& sol = (*sh.global_routes)[static_cast<std::size_t>(net)];
+      area = sh.global->corridor(sol, params.corridor_halo);
       int planar_edges = 0;
       for (const auto& [e, sx] : sol.edges) {
         (void)sx;
-        if (!global_->graph().edge(e).via) ++planar_edges;
+        if (!sh.global->graph().edge(e).via) ++planar_edges;
       }
       restrict_layers = restrict_layers && planar_edges >= 4;
       allowed_layers.assign(static_cast<std::size_t>(tg.num_layers()), 0);
@@ -317,7 +331,7 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
       };
       for (const auto& [e, sx] : sol.edges) {
         (void)sx;
-        const GlobalEdge& ge = global_->graph().edge(e);
+        const GlobalEdge& ge = sh.global->graph().edge(e);
         allow(ge.layer);
         if (ge.via) allow(ge.layer + 1);
       }
@@ -425,7 +439,7 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
         sp.net = net;
         sp.wiretype = n.wiretype;
         sp.allowed_ripup = allowed_ripup;
-        if (!spread_zones_.empty()) sp.spread_zones = &spread_zones_;
+        if (!sh.spread_zones.empty()) sp.spread_zones = &sh.spread_zones;
         if (!banned_local.empty()) sp.banned = &banned_local;
         // Only the first (no-ripup) round is layer-restricted; widening
         // rounds explore the full stack.
@@ -446,27 +460,29 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
       if (fp->source_tag >= 0) {
         const EndpointInfo& ei =
             source_info[static_cast<std::size_t>(fp->source_tag)];
-        if (ei.pin >= 0 && !(access_committed_.count(ei.pin) &&
-                             access_committed_[ei.pin])) {
-          new_paths.push_back(catalogues_[ei.pin][static_cast<std::size_t>(
-                                                      ei.access)]
-                                  .path);
+        if (ei.pin >= 0 &&
+            sh.access_committed[static_cast<std::size_t>(ei.pin)] == 0) {
+          new_paths.push_back(
+              sh.catalogues[static_cast<std::size_t>(ei.pin)]
+                           [static_cast<std::size_t>(ei.access)]
+                  .path);
           new_paths.back().net = net;
           commit_access_pins.push_back(ei.pin);
-          selected_[ei.pin] = ei.access;
+          sh.selected[static_cast<std::size_t>(ei.pin)] = ei.access;
         }
       }
       if (fp->target_index >= 0) {
         const EndpointInfo& ei =
             target_info[static_cast<std::size_t>(fp->target_index)];
-        if (ei.pin >= 0 && !(access_committed_.count(ei.pin) &&
-                             access_committed_[ei.pin])) {
-          new_paths.push_back(catalogues_[ei.pin][static_cast<std::size_t>(
-                                                      ei.access)]
-                                  .path);
+        if (ei.pin >= 0 &&
+            sh.access_committed[static_cast<std::size_t>(ei.pin)] == 0) {
+          new_paths.push_back(
+              sh.catalogues[static_cast<std::size_t>(ei.pin)]
+                           [static_cast<std::size_t>(ei.access)]
+                  .path);
           new_paths.back().net = net;
           commit_access_pins.push_back(ei.pin);
-          selected_[ei.pin] = ei.access;
+          sh.selected[static_cast<std::size_t>(ei.pin)] = ei.access;
         }
       }
 
@@ -498,9 +514,10 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
       }
       if (violating.empty()) break;  // clean path
       // Retry with banned spots whenever rip-up cannot help: no permission,
-      // depth exhausted, or a *fixed* blocker (pins/blockages never rip).
+      // depth exhausted, or a *fixed* blocker (pins/blockages never rip;
+      // nets outside the window's rip mask count as fixed too).
       bool fixed_blocked = false;
-      for (int b : blockers) fixed_blocked |= b < 0;
+      for (int b : blockers) fixed_blocked |= !rippable(b);
       const bool retryable =
           attempt + 1 < 3 &&
           (fixed_blocked || allowed_ripup == 0 ||
@@ -522,8 +539,8 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     std::sort(blockers.begin(), blockers.end());
     blockers.erase(std::unique(blockers.begin(), blockers.end()),
                    blockers.end());
-    const bool has_fixed_blocker =
-        !blockers.empty() && blockers.front() < 0;
+    bool has_fixed_blocker = false;
+    for (int b : blockers) has_fixed_blocker |= !rippable(b);
 
     if (!blockers.empty()) {
       const bool cannot_rip = allowed_ripup == 0 ||
@@ -541,7 +558,7 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
       if (cannot_rip) blockers.clear();  // commit; cleanup handles the rest
       static obs::Counter& c_rip = obs::counter("detailed.ripups");
       for (int b : blockers) {
-        if (b >= 0 && b != net) {
+        if (rippable(b) && b != net) {
           rip_net_tracked(b);
           ripped.insert(b);
           if (stats) ++stats->ripups;
@@ -551,7 +568,9 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     }
 
     for (const RoutedPath& p : new_paths) rs_->commit_path(p);
-    for (int pid : commit_access_pins) access_committed_[pid] = true;
+    for (int pid : commit_access_pins) {
+      sh.access_committed[static_cast<std::size_t>(pid)] = 1;
+    }
     if (stats) ++stats->connections_routed;
     static obs::Counter& c_ok = obs::counter("detailed.connections_routed");
     c_ok.add();
@@ -569,12 +588,15 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
 void NetRouter::rip_net_tracked(int net) {
   rs_->rip_net(net);
   const Net& n = rs_->chip().nets[static_cast<std::size_t>(net)];
+  DetailedShared& sh = *shared_;
   for (int pid : n.pins) {
-    access_committed_[pid] = false;
+    const auto p = static_cast<std::size_t>(pid);
+    sh.access_committed[p] = 0;
     // Stale catalogues refer to the pre-rip routing space; regenerate
     // on demand (§4.3's dynamic path generation).
-    catalogues_.erase(pid);
-    selected_.erase(pid);
+    sh.catalogues[p].clear();
+    sh.catalogue_built[p] = 0;
+    sh.selected[p] = -1;
   }
 }
 
@@ -610,20 +632,23 @@ void NetRouter::precompute_access(const NetRouteParams& params) {
     if (!placed) clusters.push_back({pid});
   }
 
+  DetailedShared& sh = *shared_;
   for (const auto& cluster : clusters) {
     std::vector<std::vector<AccessPath>> cats;
     std::vector<int> pids;
     for (int pid : cluster) {
-      if (access_committed_.count(pid) && access_committed_[pid]) continue;
-      const Pin& pin = chip.pins[static_cast<std::size_t>(pid)];
+      const auto p = static_cast<std::size_t>(pid);
+      if (sh.access_committed[p] != 0) continue;
+      const Pin& pin = chip.pins[p];
       PinAccessParams ap = params.access;
       ap.wiretype = chip.nets[static_cast<std::size_t>(pin.net)].wiretype;
       if (ap.wiretype != 0) {
         ap.access_layers = std::max(ap.access_layers, 4);
         ap.layer_bonus = 600;
       }
-      catalogues_[pid] = access_.catalogue(pin, ap);
-      cats.push_back(catalogues_[pid]);
+      sh.catalogues[p] = access_.catalogue(pin, ap);
+      sh.catalogue_built[p] = 1;
+      cats.push_back(sh.catalogues[p]);
       pids.push_back(pid);
     }
     if (pids.empty()) continue;
@@ -631,7 +656,7 @@ void NetRouter::precompute_access(const NetRouteParams& params) {
                          ? access_.greedy_selection(cats)
                          : access_.conflict_free_selection(cats);
     for (std::size_t i = 0; i < pids.size(); ++i) {
-      selected_[pids[i]] = sel[i];
+      sh.selected[static_cast<std::size_t>(pids[i])] = sel[i];
       if (sel[i] < 0) continue;
       // Commit the primary access path as a reservation (§4.3).  The
       // conflict-free selection is clean within the cluster; verify against
@@ -662,16 +687,16 @@ void NetRouter::precompute_access(const NetRouteParams& params) {
           }
         }
       }
-      selected_[pids[i]] = pick;
+      sh.selected[static_cast<std::size_t>(pids[i])] = pick;
       const AccessPath& ap = cats[i][static_cast<std::size_t>(pick)];
       if (ap.path.empty()) {
-        access_committed_[pids[i]] = true;
+        sh.access_committed[static_cast<std::size_t>(pids[i])] = 1;
         continue;
       }
       RoutedPath path = ap.path;
       path.net = pin_net;
       rs_->commit_path(path);
-      access_committed_[pids[i]] = true;
+      sh.access_committed[static_cast<std::size_t>(pids[i])] = 1;
     }
   }
 }
@@ -733,11 +758,7 @@ void NetRouter::postprocess_net(int net) {
   }
 }
 
-void NetRouter::route_all(const NetRouteParams& params, DetailedStats* stats) {
-  BONN_TRACE_SPAN("detailed.route_all");
-  Timer timer;
-  precompute_access(params);
-  const Chip& chip = rs_->chip();
+std::vector<int> NetRouter::route_order(const Chip& chip) {
   std::vector<int> order(chip.nets.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
   // Critical nets (and wide wires) first (§5.1), then by span ascending.
@@ -749,14 +770,47 @@ void NetRouter::route_all(const NetRouteParams& params, DetailedStats* stats) {
     if (ca != cb) return ca;
     return hpwl(chip.net_terminals(a)) < hpwl(chip.net_terminals(b));
   });
+  return order;
+}
+
+bool NetRouter::net_connected(int net) const {
+  const Chip& chip = rs_->chip();
+  return compute_components(chip, rs_->paths(net),
+                            chip.nets[static_cast<std::size_t>(net)])
+             .size() <= 1;
+}
+
+Rect NetRouter::net_reach_core(int net, int halo) const {
+  const Chip& chip = rs_->chip();
+  const Net& n = chip.nets[static_cast<std::size_t>(net)];
+  Rect core;
+  for (int pid : n.pins) {
+    for (const RectL& rl : chip.pins[static_cast<std::size_t>(pid)].shapes) {
+      core = core.hull(rl.r);
+    }
+  }
+  for (const RoutedPath& p : rs_->paths(net)) {
+    for (const Shape& s : expand_path(p, chip.tech)) core = core.hull(s.rect);
+  }
+  const DetailedShared& sh = *shared_;
+  if (sh.global && sh.global_routes &&
+      !(*sh.global_routes)[static_cast<std::size_t>(net)].edges.empty()) {
+    const auto& sol = (*sh.global_routes)[static_cast<std::size_t>(net)];
+    for (const Rect& r : sh.global->corridor(sol, halo)) core = core.hull(r);
+  }
+  return core;
+}
+
+void NetRouter::route_all(const NetRouteParams& params, DetailedStats* stats) {
+  BONN_TRACE_SPAN("detailed.route_all");
+  Timer timer;
+  precompute_access(params);
+  const Chip& chip = rs_->chip();
+  const std::vector<int> order = route_order(chip);
 
   // A net marked done can be re-opened later as a rip-up victim, so each
   // round re-verifies connectivity instead of trusting stale flags.
-  auto connected = [&](int net) {
-    return compute_components(chip, rs_->paths(net),
-                              chip.nets[static_cast<std::size_t>(net)])
-               .size() <= 1;
-  };
+  auto connected = [&](int net) { return net_connected(net); };
   int failed = 0;
   for (int round = 0; round < params.rounds; ++round) {
     BONN_TRACE_SPAN("detailed.round");

@@ -11,6 +11,8 @@
 // area patches) exactly where §4.4 says they occur.
 #pragma once
 
+#include <memory>
+
 #include "src/detailed/ontrack_search.hpp"
 #include "src/detailed/pin_access.hpp"
 #include "src/detailed/vertex_search.hpp"
@@ -23,6 +25,12 @@ struct NetRouteParams {
   PinAccessParams access;
   int corridor_halo = 1;       ///< tiles added around the global route
   int max_rip_depth = 2;       ///< bound on rip-up recursion (§4.4)
+  /// §5.1 window discipline: when set, only nets with a nonzero entry may
+  /// be ripped as victims; blockers outside the mask count as fixed.  The
+  /// DetailedScheduler sets this to the set of nets whose reach lies inside
+  /// the current routing window, so no thread ever rips wiring that another
+  /// window may be touching.
+  const std::vector<char>* rip_allowed = nullptr;
   int rounds = 3;              ///< escalation rounds (ripup, wider area)
   double detour_for_pi_p = 1.3;  ///< use π_P when corridor detours this much
   // --- ISR-baseline behaviour switches (§5.3's industry standard router
@@ -50,22 +58,54 @@ struct DetailedStats {
   double seconds = 0;
 };
 
+/// Read-mostly state shared by every worker NetRouter (§5.1 split): the
+/// global-routing guidance, spread zones, and the per-pin access
+/// bookkeeping.  The per-pin vectors are indexed by dense pin id; a pin
+/// belongs to exactly one net, and every net is owned by exactly one window
+/// (or the serial phase) at a time, so concurrent workers touch disjoint
+/// elements and never resize — element access is race-free by construction.
+struct DetailedShared {
+  const GlobalRouter* global = nullptr;
+  const std::vector<SteinerSolution>* global_routes = nullptr;
+  std::vector<std::pair<Rect, Coord>> spread_zones;
+  std::vector<std::vector<AccessPath>> catalogues;  ///< per pin (lazy)
+  std::vector<char> catalogue_built;                ///< per pin
+  std::vector<int> selected;                        ///< per pin, -1 = none
+  std::vector<char> access_committed;               ///< per pin
+
+  explicit DetailedShared(std::size_t num_pins)
+      : catalogues(num_pins),
+        catalogue_built(num_pins, 0),
+        selected(num_pins, -1),
+        access_committed(num_pins, 0) {}
+};
+
 class NetRouter {
  public:
-  NetRouter(RoutingSpace& rs) : rs_(&rs), access_(rs), search_(rs) {}
+  /// Owning constructor: creates the shared per-pin state.
+  explicit NetRouter(RoutingSpace& rs)
+      : rs_(&rs),
+        access_(rs),
+        search_(rs),
+        shared_(std::make_shared<DetailedShared>(rs.chip().pins.size())) {}
+
+  /// Worker constructor (§5.1): a per-thread router operating against the
+  /// same RoutingSpace and the owner's shared state.
+  NetRouter(RoutingSpace& rs, std::shared_ptr<DetailedShared> shared)
+      : rs_(&rs), access_(rs), search_(rs), shared_(std::move(shared)) {}
 
   /// Provide global-routing corridors (optional — without them the corridor
   /// is the net bounding box plus a margin).
   void set_global(const GlobalRouter* gr,
                   const std::vector<SteinerSolution>* routes) {
-    global_ = gr;
-    global_routes_ = routes;
+    shared_->global = gr;
+    shared_->global_routes = routes;
   }
 
   /// Wire spreading (§4.2): planar zones with extra search cost, derived
   /// from the congestion observed by global routing.
   void set_spread_zones(std::vector<std::pair<Rect, Coord>> zones) {
-    spread_zones_ = std::move(zones);
+    shared_->spread_zones = std::move(zones);
   }
 
   /// Route every net: critical nets first (§5.1), then by size; failed nets
@@ -90,6 +130,20 @@ class NetRouter {
   void rip_net_tracked(int net);
 
   RoutingSpace& space() { return *rs_; }
+  const std::shared_ptr<DetailedShared>& shared() const { return shared_; }
+
+  /// True if the net's pins and committed paths form one component.
+  bool net_connected(int net) const;
+
+  /// Deterministic routing order: critical nets (and wide wires) first
+  /// (§5.1), then by span ascending.
+  static std::vector<int> route_order(const Chip& chip);
+
+  /// Everything this net's routing can read or write, before margins: hull
+  /// of the pin shapes, the committed paths, and the global corridor at
+  /// `halo`.  The DetailedScheduler expands it by the §5.1 window margin
+  /// and assigns the net to a window only if the result fits inside.
+  Rect net_reach_core(int net, int halo) const;
 
  private:
   struct CompSource {
@@ -106,13 +160,7 @@ class NetRouter {
   PinAccess access_;
   OnTrackSearch search_;
   VertexSearch vsearch_{*rs_};
-  const GlobalRouter* global_ = nullptr;
-  const std::vector<SteinerSolution>* global_routes_ = nullptr;
-  std::vector<std::pair<Rect, Coord>> spread_zones_;
-  /// Per pin: catalogue + selected path + committed flag (lazy).
-  std::unordered_map<int, std::vector<AccessPath>> catalogues_;
-  std::unordered_map<int, int> selected_;
-  std::unordered_map<int, bool> access_committed_;
+  std::shared_ptr<DetailedShared> shared_;
 };
 
 }  // namespace bonn

@@ -18,9 +18,30 @@
 
 namespace bonn {
 
+// Concurrency contract (§5.1).  By default the routing space is single-
+// threaded, exactly as before.  set_concurrent(true) arms the internal
+// sharded reader-writer locks of the shape grid, the config table, and the
+// fast grid, after which threads confined to *disjoint routing windows* may
+// concurrently call commit_path / rip_net / remove_recorded /
+// insert_shape / remove_shape / Reservation and all read paths.  The locks
+// provide memory safety only; logical isolation (no thread observes or rips
+// another window's in-flight work) is the DetailedScheduler's job: it
+// assigns each net to a window only when the net's whole reach — search
+// area, pin-access windows, fast-grid refresh neighbourhood, DRC
+// interaction distance — fits inside it, serializes everything else, and
+// enforces the single-owner rule for net_paths_[net] (a net is owned by
+// exactly one window or by the serial phase, so its paths vector is never
+// touched from two threads).
 class RoutingSpace {
  public:
   explicit RoutingSpace(const Chip& chip);
+
+  /// Arm/disarm the internal locks (shape grid rows, config table,
+  /// fast-grid tracks).  Toggle only while no other thread uses the space.
+  void set_concurrent(bool on) {
+    grid_->set_concurrent(on);
+    fast_->set_concurrent(on);
+  }
 
   const Chip& chip() const { return *chip_; }
   const TrackGraph& tg() const { return *tg_; }

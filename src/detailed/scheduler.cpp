@@ -1,0 +1,277 @@
+#include "src/detailed/scheduler.hpp"
+
+#include <algorithm>
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/assert.hpp"
+#include "src/util/timer.hpp"
+
+namespace bonn {
+
+namespace {
+
+/// Margin added around a net's reach core (§5.1): covers the search-area
+/// expansion at the deepest rip-up level (net_router.cpp expands the
+/// endpoint bbox by 800 + 600·rip_depth + 500·halo), plus slack for the
+/// pin-access windows, the DRC interaction distance, the fast-grid refresh
+/// neighbourhood and the postprocessing patches.
+Coord window_margin(const NetRouteParams& p) {
+  return 800 + 600 * static_cast<Coord>(p.max_rip_depth) +
+         500 * static_cast<Coord>(p.corridor_halo) + 2000;
+}
+
+void merge_stats(DetailedStats& into, const DetailedStats& s) {
+  into.connections_routed += s.connections_routed;
+  into.connections_failed += s.connections_failed;
+  into.nets_failed += s.nets_failed;
+  into.ripups += s.ripups;
+  into.pi_p_used += s.pi_p_used;
+  into.search.labels_created += s.search.labels_created;
+  into.search.pops += s.search.pops;
+  into.search.station_expansions += s.search.station_expansions;
+  into.search.fastgrid_hits += s.search.fastgrid_hits;
+  into.search.fastgrid_misses += s.search.fastgrid_misses;
+}
+
+}  // namespace
+
+/// One window partitioning of a scheduling pass.
+struct DetailedScheduler::Pass {
+  int dx = 1, dy = 1;
+  Rect die;
+
+  /// Window index of a reach rect, or -1 if it spans windows.  Pure
+  /// integer geometry: independent of thread count and execution order.
+  int window_of(const Rect& reach) const {
+    if (reach.empty()) return 0;
+    const auto ix = [&](Coord x) {
+      return std::clamp<Coord>((x - die.xlo) * dx / std::max<Coord>(die.width(), 1),
+                               0, dx - 1);
+    };
+    const auto iy = [&](Coord y) {
+      return std::clamp<Coord>((y - die.ylo) * dy / std::max<Coord>(die.height(), 1),
+                               0, dy - 1);
+    };
+    const Coord cx = ix(reach.xlo), cy = iy(reach.ylo);
+    if (cx != ix(reach.xhi) || cy != iy(reach.yhi)) return -1;
+    return static_cast<int>(cy * dx + cx);
+  }
+};
+
+DetailedScheduler::DetailedScheduler(NetRouter& owner, int threads)
+    : owner_(&owner), rs_(&owner.space()), threads_(std::max(1, threads)) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i) {
+      workers_.push_back(std::make_unique<NetRouter>(*rs_, owner.shared()));
+      free_workers_.push_back(workers_.back().get());
+    }
+  }
+}
+
+DetailedScheduler::~DetailedScheduler() = default;
+
+NetRouter* DetailedScheduler::checkout_worker() {
+  std::lock_guard<std::mutex> lk(worker_mu_);
+  if (free_workers_.empty()) return owner_;  // serial (threads_ == 1) path
+  NetRouter* r = free_workers_.back();
+  free_workers_.pop_back();
+  return r;
+}
+
+void DetailedScheduler::return_worker(NetRouter* r) {
+  if (r == owner_) return;
+  std::lock_guard<std::mutex> lk(worker_mu_);
+  free_workers_.push_back(r);
+}
+
+int DetailedScheduler::route_nets(const std::vector<int>& nets,
+                                  const NetRouteParams& params,
+                                  DetailedStats* stats, bool rip_first,
+                                  int rip_depth) {
+  if (nets.empty()) return 0;
+  const Chip& chip = rs_->chip();
+  const Coord margin = window_margin(params);
+
+  Pass pass;
+  pass.die = chip.die;
+  // Whole-die escalation rounds (net_router.cpp appends chip.die to the
+  // search area at corridor_halo >= 3) cannot be partitioned.
+  if (params.corridor_halo < 3) {
+    const Coord min_win = 2 * margin + 2000;
+    while (pass.dx < 8 && pass.die.width() / (pass.dx + 1) >= min_win) {
+      ++pass.dx;
+    }
+    while (pass.dy < 8 && pass.die.height() / (pass.dy + 1) >= min_win) {
+      ++pass.dy;
+    }
+  }
+
+  int failures = 0;
+  if (pass.dx * pass.dy == 1) {
+    // One window covering the die: the mask would admit every net, so this
+    // is exactly the plain sequential loop.
+    for (int net : nets) {
+      if (rip_first) {
+        owner_->rip_net_tracked(net);
+      } else if (owner_->net_connected(net)) {
+        continue;
+      }
+      if (!owner_->route_net(net, params, stats, rip_depth)) ++failures;
+    }
+    return failures;
+  }
+
+  // ---- assignment: reach rects for every net (mask candidates), window
+  // buckets for the pending nets in their given order.
+  const std::size_t N = chip.nets.size();
+  std::vector<int> win_of(N, -1);
+  for (std::size_t n = 0; n < N; ++n) {
+    const Rect reach = owner_
+                           ->net_reach_core(static_cast<int>(n),
+                                            params.corridor_halo)
+                           .expanded(margin)
+                           .intersection(pass.die);
+    win_of[n] = pass.window_of(reach);
+  }
+
+  struct WindowTask {
+    std::vector<int> nets;        ///< pending, in global order
+    std::vector<char> mask;       ///< rippable victims for this window
+    std::vector<int> failed;      ///< retried in the serial phase
+    DetailedStats local;
+  };
+  std::vector<int> task_of_window(static_cast<std::size_t>(pass.dx * pass.dy),
+                                  -1);
+  std::vector<WindowTask> tasks;
+  std::vector<int> window_id;  ///< window index per task
+  std::size_t cross = 0;
+  for (int net : nets) {
+    const int w = win_of[static_cast<std::size_t>(net)];
+    if (w < 0) {
+      ++cross;
+      continue;
+    }
+    int& t = task_of_window[static_cast<std::size_t>(w)];
+    if (t < 0) {
+      t = static_cast<int>(tasks.size());
+      tasks.emplace_back();
+      window_id.push_back(w);
+    }
+    tasks[static_cast<std::size_t>(t)].nets.push_back(net);
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    tasks[t].mask.assign(N, 0);
+    for (std::size_t n = 0; n < N; ++n) {
+      if (win_of[n] == window_id[t]) tasks[t].mask[n] = 1;
+    }
+  }
+
+  static obs::Counter& c_win = obs::counter("detailed.windows");
+  static obs::Counter& c_cross = obs::counter("detailed.cross_nets");
+  static obs::Counter& c_fail = obs::counter("detailed.window_failures");
+  c_win.add(static_cast<std::int64_t>(tasks.size()));
+  c_cross.add(static_cast<std::int64_t>(cross));
+
+  // ---- window phase: disjoint windows, one in flight per thread.
+  if (!tasks.empty()) {
+    rs_->set_concurrent(true);
+    auto run_task = [&](std::size_t i) {
+      BONN_TRACE_SPAN("detailed.window");
+      WindowTask& wt = tasks[i];
+      NetRouter* r = checkout_worker();
+      NetRouteParams wp = params;
+      wp.rip_allowed = &wt.mask;
+      for (int net : wt.nets) {
+        if (rip_first) {
+          r->rip_net_tracked(net);
+        } else if (r->net_connected(net)) {
+          continue;
+        }
+        if (!r->route_net(net, wp, &wt.local, rip_depth)) {
+          wt.failed.push_back(net);
+        }
+      }
+      return_worker(r);
+    };
+    if (pool_) {
+      pool_->parallel_for(tasks.size(), run_task);
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
+    }
+    rs_->set_concurrent(false);
+  }
+
+  // Deterministic merge: per-window stats folded in window-task order.
+  std::vector<char> failed_in_window(N, 0);
+  std::size_t window_failures = 0;
+  for (WindowTask& wt : tasks) {
+    if (stats) merge_stats(*stats, wt.local);
+    for (int net : wt.failed) {
+      failed_in_window[static_cast<std::size_t>(net)] = 1;
+      ++window_failures;
+    }
+  }
+  c_fail.add(static_cast<std::int64_t>(window_failures));
+
+  // ---- serial phase: cross-window nets plus window failures (the latter
+  // retried without a mask, so victims outside their window are reachable
+  // now that no other window is in flight), in the pass's global order.
+  for (int net : nets) {
+    const std::size_t n = static_cast<std::size_t>(net);
+    const bool is_cross = win_of[n] < 0;
+    if (!is_cross && !failed_in_window[n]) continue;
+    if (rip_first && is_cross) {
+      owner_->rip_net_tracked(net);  // window nets were ripped in-window
+    } else if (!rip_first && owner_->net_connected(net)) {
+      continue;
+    }
+    if (!owner_->route_net(net, params, stats, rip_depth)) ++failures;
+  }
+  return failures;
+}
+
+void DetailedScheduler::route_all(const NetRouteParams& params,
+                                  DetailedStats* stats) {
+  BONN_TRACE_SPAN("detailed.route_all");
+  Timer timer;
+  static obs::Gauge& g_threads = obs::gauge("detailed.threads");
+  g_threads.set(threads_);
+  owner_->precompute_access(params);
+  const Chip& chip = rs_->chip();
+  const std::vector<int> order = NetRouter::route_order(chip);
+
+  int failed = 0;
+  for (int round = 0; round < params.rounds; ++round) {
+    BONN_TRACE_SPAN("detailed.round");
+    NetRouteParams rp = params;
+    rp.search.allowed_ripup =
+        round == 0 ? 0 : (round == 1 ? kStandard : kCritical);
+    // Escalation evidence (§4.4): how many rounds ran at each ripup level.
+    static obs::Counter& c_r0 = obs::counter("detailed.rounds_noripup");
+    static obs::Counter& c_r1 = obs::counter("detailed.rounds_standard");
+    static obs::Counter& c_r2 = obs::counter("detailed.rounds_critical");
+    (round == 0 ? c_r0 : round == 1 ? c_r1 : c_r2).add();
+    rp.corridor_halo = params.corridor_halo + round;
+    rp.commit_despite_violations = round == params.rounds - 1;
+    std::vector<int> pending;
+    for (int net : order) {
+      if (!owner_->net_connected(net)) pending.push_back(net);
+    }
+    failed = route_nets(pending, rp, stats, /*rip_first=*/false,
+                        /*rip_depth=*/0);
+    if (failed == 0 && round > 0) break;
+  }
+  // Final tally: count nets still open (rip-up victims included).
+  failed = 0;
+  for (int net : order) {
+    if (!owner_->net_connected(net)) ++failed;
+  }
+  if (stats) {
+    stats->nets_failed = failed;
+    stats->seconds = timer.seconds();
+  }
+}
+
+}  // namespace bonn

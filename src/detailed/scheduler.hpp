@@ -1,0 +1,63 @@
+// Region-partitioned detailed routing (§5.1).
+//
+// The chip is partitioned into rectangular routing windows; every net whose
+// *reach* (pin shapes, committed wiring, global corridor, plus the margin
+// covering search-area expansion, pin-access windows, DRC interaction
+// distance and the fast-grid refresh neighbourhood) fits inside one window
+// is routed by that window's task, one window in flight per thread.  Nets
+// spanning windows — and whole rounds whose escalated search area is the
+// entire die — are serialized after a barrier.
+//
+// Determinism: the window grid and the net-to-window assignment depend only
+// on geometry and routing parameters, never on the thread count; windows
+// are pairwise disjoint in everything they read or write (ripping is
+// restricted to the window's mask), so any execution order — sequential at
+// one thread, interleaved at many — produces bit-identical routing.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/detailed/net_router.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace bonn {
+
+class DetailedScheduler {
+ public:
+  /// `threads` <= 1 keeps everything on the calling thread (but still under
+  /// the window discipline, so results match any other thread count).
+  DetailedScheduler(NetRouter& owner, int threads);
+  ~DetailedScheduler();
+
+  int threads() const { return threads_; }
+
+  /// Scheduler-driven counterpart of NetRouter::route_all: same escalation
+  /// rounds, critical-first deterministic order, window-parallel execution.
+  void route_all(const NetRouteParams& params, DetailedStats* stats = nullptr);
+
+  /// One scheduling pass over `nets` in the given order: window phase, then
+  /// a serial phase for cross-window nets and window failures.  With
+  /// `rip_first`, each net is ripped just before its reroute (DRC cleanup
+  /// semantics).  Returns the number of nets whose final attempt failed.
+  int route_nets(const std::vector<int>& nets, const NetRouteParams& params,
+                 DetailedStats* stats = nullptr, bool rip_first = false,
+                 int rip_depth = 0);
+
+ private:
+  struct Pass;  // one window partitioning (scheduler.cpp)
+
+  NetRouter* checkout_worker();
+  void return_worker(NetRouter* r);
+
+  NetRouter* owner_;
+  RoutingSpace* rs_;
+  int threads_;
+  std::unique_ptr<ThreadPool> pool_;              ///< only when threads_ > 1
+  std::vector<std::unique_ptr<NetRouter>> workers_;
+  std::mutex worker_mu_;
+  std::vector<NetRouter*> free_workers_;
+};
+
+}  // namespace bonn

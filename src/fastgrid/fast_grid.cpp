@@ -131,6 +131,9 @@ void FastGrid::recompute_wiring(int w, const Rect& region) {
       for (int ti = tlo; ti <= thi; ++ti) {
         auto& map = wiring_[static_cast<std::size_t>(w)]
                            [static_cast<std::size_t>(ti)];
+        // Exclusive over the whole reset + reapply so readers of this track
+        // never observe the reset-but-not-reapplied intermediate state.
+        auto lk = write_guard(shard(/*via=*/false, w, ti));
         // Reset this field (and, for the wire field, the gap bit) to free.
         map.update(slo, shi + 1, [&](std::uint64_t& word) {
           set_wiring_field(word, k, f, kFree);
@@ -206,6 +209,7 @@ void FastGrid::recompute_via(int v, const Rect& region) {
       for (int ti = tlo; ti <= thi; ++ti) {
         auto& map =
             via_[static_cast<std::size_t>(v)][static_cast<std::size_t>(ti)];
+        auto lk = write_guard(shard(/*via=*/true, v, ti));
         map.update(slo, shi + 1, [&](std::uint64_t& word) {
           set_via_field(word, k, f, kFree);
         });
@@ -291,11 +295,19 @@ std::uint8_t FastGrid::via_level(const TrackVertex& u, int wiretype) const {
 
 std::size_t FastGrid::breakpoint_count() const {
   std::size_t n = 0;
-  for (const auto& layer : wiring_) {
-    for (const auto& map : layer) n += map.breakpoint_count();
+  for (std::size_t l = 0; l < wiring_.size(); ++l) {
+    for (std::size_t t = 0; t < wiring_[l].size(); ++t) {
+      auto lk = read_guard(
+          shard(/*via=*/false, static_cast<int>(l), static_cast<int>(t)));
+      n += wiring_[l][t].breakpoint_count();
+    }
   }
-  for (const auto& layer : via_) {
-    for (const auto& map : layer) n += map.breakpoint_count();
+  for (std::size_t l = 0; l < via_.size(); ++l) {
+    for (std::size_t t = 0; t < via_[l].size(); ++t) {
+      auto lk = read_guard(
+          shard(/*via=*/true, static_cast<int>(l), static_cast<int>(t)));
+      n += via_[l][t].breakpoint_count();
+    }
   }
   return n;
 }

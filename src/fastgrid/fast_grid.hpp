@@ -15,8 +15,10 @@
 // types fit one 64-bit word, matching the paper's packing arithmetic.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <span>
 
 #include "src/drc/checker.hpp"
@@ -75,11 +77,13 @@ class FastGrid {
   // ---- queries ---------------------------------------------------------
   /// Packed word at a wiring-layer vertex.
   std::uint64_t word(int layer, int track, int station) const {
+    auto lk = read_guard(shard(/*via=*/false, layer, track));
     return wiring_[static_cast<std::size_t>(layer)]
                   [static_cast<std::size_t>(track)]
                       .at(station);
   }
   std::uint64_t via_word(int via_layer, int track, int station) const {
+    auto lk = read_guard(shard(/*via=*/true, via_layer, track));
     return via_[static_cast<std::size_t>(via_layer)]
                [static_cast<std::size_t>(track)]
                    .at(station);
@@ -91,9 +95,12 @@ class FastGrid {
   std::uint8_t via_level(const TrackVertex& u, int wiretype) const;
 
   /// Iterate constant-word runs over stations [s_lo, s_hi] of a track:
-  /// fn(station_lo, station_hi_exclusive, word).
+  /// fn(station_lo, station_hi_exclusive, word).  With concurrency on, the
+  /// track's lock shard is held shared across the iteration, so fn must not
+  /// call back into the fast grid or the routing space.
   template <typename Fn>
   void for_each_run(int layer, int track, int s_lo, int s_hi, Fn fn) const {
+    auto lk = read_guard(shard(/*via=*/false, layer, track));
     wiring_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(track)]
         .for_each(s_lo, s_hi + 1, fn);
   }
@@ -113,7 +120,33 @@ class FastGrid {
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Concurrency contract (§5.1): interval maps per (layer, track) span the
+  /// whole die, so disjoint routing windows still share track objects.  With
+  /// set_concurrent(true), reads (word / via_word / for_each_run) take a
+  /// shared lock and recomputes take a unique lock on one of kLockShards
+  /// reader-writer locks keyed by (layer, track).  Recomputes may query the
+  /// shape grid while holding a shard (fast-grid shard before shape-grid
+  /// row); no path acquires them in the reverse order.  Off (default), no
+  /// locks are taken.  Toggle only while the grid is otherwise idle.
+  void set_concurrent(bool on) { concurrent_ = on; }
+
  private:
+  static constexpr std::size_t kLockShards = 64;
+
+  std::size_t shard(bool via, int layer, int track) const {
+    const std::size_t h =
+        (static_cast<std::size_t>(layer) * 2u + (via ? 1u : 0u)) * 1315423911u +
+        static_cast<std::size_t>(track) * 2654435761u;
+    return h % kLockShards;
+  }
+  std::shared_lock<std::shared_mutex> read_guard(std::size_t sh) const {
+    return concurrent_ ? std::shared_lock<std::shared_mutex>(mu_[sh])
+                       : std::shared_lock<std::shared_mutex>();
+  }
+  std::unique_lock<std::shared_mutex> write_guard(std::size_t sh) const {
+    return concurrent_ ? std::unique_lock<std::shared_mutex>(mu_[sh])
+                       : std::unique_lock<std::shared_mutex>();
+  }
   /// Recompute all cached data affected by shapes inside `region` on global
   /// layer `g`.
   void recompute(int g, const Rect& region);
@@ -133,6 +166,8 @@ class FastGrid {
   std::uint64_t free_word_via_;
   std::vector<std::vector<IntervalMap<std::uint64_t>>> wiring_;
   std::vector<std::vector<IntervalMap<std::uint64_t>>> via_;
+  mutable std::array<std::shared_mutex, kLockShards> mu_;
+  bool concurrent_ = false;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

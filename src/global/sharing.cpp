@@ -91,10 +91,107 @@ FractionalSolution ResourceSharing::run(
     }
   };
 
+  // Deterministic chunked mode (§5.1 with reproducibility): within a chunk,
+  // every net's reuse test and oracle solve sees the frozen chunk-start
+  // prices y0 — a pure per-net map that parallelizes freely — and the price
+  // updates are folded sequentially in net order afterwards.  The chunk
+  // size depends only on N, so any thread count (including 1) produces the
+  // same fractional solution bit for bit.
+  struct Candidate {
+    bool skip = true;
+    bool reused = false;
+    SteinerSolution sol;   ///< fresh solve (when !reused)
+    double price = 0;      ///< cost of the fresh solve under y0
+    double scale = 1.0;    ///< y0[wl_res] at solve time
+  };
+  std::mutex ws_mu;
+  std::vector<SteinerOracle::Workspace*> free_ws;
+  for (auto& w : ws) free_ws.push_back(&w);
+  auto run_chunk = [&](std::size_t lo, std::size_t hi, int phase) {
+    const std::vector<double> y0 = y;
+    std::vector<Candidate> cand(hi - lo);
+    auto eval = [&](std::size_t i) {
+      const std::size_t n = lo + i;
+      if (terminals[n].size() < 2) return;
+      Candidate& c = cand[i];
+      c.skip = false;
+      if (params.oracle_reuse && phase > 0 && last_idx[n] >= 0) {
+        const double cur = oracle_->price(
+            frac.per_net[n][static_cast<std::size_t>(last_idx[n])].first,
+            static_cast<int>(n), y0);
+        const double inflation = y0[wl_res] / last_scale[n];
+        if (cur <= params.reuse_slack * last_price[n] * inflation) {
+          c.reused = true;
+          ++reuses;
+          return;
+        }
+      }
+      SteinerOracle::Workspace* w;
+      {
+        std::lock_guard<std::mutex> lk(ws_mu);
+        w = free_ws.back();
+        free_ws.pop_back();
+      }
+      c.sol = oracle_->solve(terminals[n], static_cast<int>(n), y0, *w);
+      c.price = c.sol.cost;
+      c.scale = y0[wl_res];
+      {
+        std::lock_guard<std::mutex> lk(ws_mu);
+        free_ws.push_back(w);
+      }
+    };
+    if (pool) {
+      pool->parallel_for(hi - lo, eval, /*grain=*/4);
+    } else {
+      for (std::size_t i = 0; i < hi - lo; ++i) eval(i);
+    }
+    // Sequential fold in net order: dedup, weights, price updates.
+    for (std::size_t i = 0; i < hi - lo; ++i) {
+      Candidate& c = cand[i];
+      if (c.skip) continue;
+      const std::size_t n = lo + i;
+      auto& sols = frac.per_net[n];
+      int chosen;
+      if (c.reused) {
+        chosen = last_idx[n];
+      } else {
+        last_price[n] = c.price;
+        last_scale[n] = c.scale;
+        chosen = -1;
+        for (std::size_t s = 0; s < sols.size(); ++s) {
+          if (sols[s].first == c.sol) {
+            chosen = static_cast<int>(s);
+            break;
+          }
+        }
+        if (chosen < 0) {
+          sols.push_back({std::move(c.sol), 0.0});
+          chosen = static_cast<int>(sols.size()) - 1;
+        }
+      }
+      last_idx[n] = chosen;
+      auto& [sol, weight] = sols[static_cast<std::size_t>(chosen)];
+      weight += 1.0;
+      for (const auto& [e, s] : sol.edges) {
+        model_->for_each_usage(static_cast<int>(n), e, s,
+                               [&](int r, double g) {
+                                 y[static_cast<std::size_t>(r)] *=
+                                     std::exp(params.epsilon * g);
+                               });
+      }
+    }
+  };
+  const std::size_t chunk =
+      std::clamp<std::size_t>(N / 8, 16, 256);  // function of N only
+
   BONN_TRACE_SPAN("global.sharing");
   for (int phase = 0; phase < params.phases; ++phase) {
     BONN_TRACE_SPAN("global.sharing.phase");
-    if (pool) {
+    if (params.deterministic) {
+      for (std::size_t lo = 0; lo < N; lo += chunk) {
+        run_chunk(lo, std::min(N, lo + chunk), phase);
+      }
+    } else if (pool) {
       // Shard nets across threads; prices are shared and updated under a
       // light lock (reads are racy by design — volatility tolerant).
       const std::size_t T = pool->size();

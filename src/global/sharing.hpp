@@ -23,6 +23,14 @@ struct SharingParams {
   bool oracle_reuse = true;
   double reuse_slack = 1.25;  ///< reuse while current price <= slack * old
   int threads = 1;            ///< >1: volatility-tolerant shared prices
+  /// Deterministic parallelism: nets are processed in fixed-size chunks;
+  /// within a chunk every reuse test and oracle solve is evaluated against
+  /// the chunk-start prices (a pure map, parallelized over the pool) and
+  /// the price updates are folded sequentially in net order.  Results are
+  /// bit-identical at any thread count, including 1.  Off (default), the
+  /// legacy behaviour is kept: sequential Gauss-Seidel at threads == 1,
+  /// volatility-tolerant shared prices (racy reads, §5.1) at threads > 1.
+  bool deterministic = false;
 };
 
 struct SharingStats {

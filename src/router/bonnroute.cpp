@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
+#include "src/detailed/scheduler.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -114,13 +116,14 @@ void finalize_report(const Chip& chip, RoutingSpace& rs, FlowReport& report,
 
 /// Pre-route nets whose pins all fall into one tile (§2.5 first refinement):
 /// they are invisible to the global model, so they must consume detailed
-/// capacity before edge capacities are counted.
-int preroute_local_nets(const Chip& chip, NetRouter& router,
+/// capacity before edge capacities are counted.  The nets are routed through
+/// the scheduler (window-parallel, deterministic, net-id order).
+int preroute_local_nets(const Chip& chip, DetailedScheduler& sched,
                         const NetRouteParams& params, int nx, int ny,
                         DetailedStats* stats) {
   const Coord tw = (chip.die.width() + nx - 1) / nx;
   const Coord th = (chip.die.height() + ny - 1) / ny;
-  int prerouted = 0;
+  std::vector<int> local_nets;
   for (const Net& n : chip.nets) {
     bool local = true;
     std::pair<Coord, Coord> tile{-1, -1};
@@ -135,11 +138,24 @@ int preroute_local_nets(const Chip& chip, NetRouter& router,
         break;
       }
     }
-    if (!local) continue;
-    // Route within a slightly larger area than the tile (§2.5).
-    if (router.route_net(n.id, params, stats)) ++prerouted;
+    if (local) local_nets.push_back(n.id);
   }
-  return prerouted;
+  // Route within a slightly larger area than the tile (§2.5).
+  const int failed = sched.route_nets(local_nets, params, stats);
+  return static_cast<int>(local_nets.size()) - failed;
+}
+
+/// Resolve the worker-thread count: BONN_THREADS overrides FlowParams, and
+/// 0 means auto-detect from the hardware.
+int resolve_threads(int requested) {
+  if (const char* env = std::getenv("BONN_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 0) requested = v;
+  }
+  if (requested == 0) {
+    requested = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return std::max(requested, 1);
 }
 
 }  // namespace
@@ -153,8 +169,10 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
                       ? std::pair<int, int>{params.tiles_x, params.tiles_y}
                       : auto_tiles(chip);
 
+  const int threads = resolve_threads(params.threads);
   RoutingSpace rs(chip);
   NetRouter router(rs);
+  DetailedScheduler sched(router, threads);
 
   // §4.3 preprocessing first: access reservations consume routing space and
   // must be visible to the §2.5 capacity estimation.
@@ -165,13 +183,18 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
   {
     BONN_TRACE_SPAN("router.preroute_local_nets");
     report.preroute_nets =
-        preroute_local_nets(chip, router, params.detailed, nx, ny,
+        preroute_local_nets(chip, sched, params.detailed, nx, ny,
                             &report.detailed);
   }
 
-  // Global routing on capacities that already reflect the pre-routes.
+  // Global routing on capacities that already reflect the pre-routes.  The
+  // sharing solver gets the flow-wide thread count in deterministic chunked
+  // mode, so its fractional solution matches at any parallelism.
+  GlobalRouterParams gp = params.global;
+  gp.sharing.threads = threads;
+  gp.sharing.deterministic = true;
   GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
-  std::vector<SteinerSolution> routes = gr.route(params.global, &report.global);
+  std::vector<SteinerSolution> routes = gr.route(gp, &report.global);
 
   router.set_global(&gr, &routes);
   // Wire spreading (§4.2): tiles the global router filled beyond 70 % get a
@@ -202,12 +225,12 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
     }
     router.set_spread_zones(std::move(zones));
   }
-  router.route_all(params.detailed, &report.detailed);
+  sched.route_all(params.detailed, &report.detailed);
   report.br_seconds = total.seconds();
 
   if (params.run_cleanup) {
     BONN_TRACE_SPAN("router.drc_cleanup");
-    DrcCleanup cleanup(router);
+    DrcCleanup cleanup(router, &sched);
     CleanupParams cp = params.cleanup;
     cp.reroute = params.detailed;
     report.cleanup = cleanup.run(cp);
@@ -228,8 +251,10 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
                       ? std::pair<int, int>{params.tiles_x, params.tiles_y}
                       : auto_tiles(chip);
 
+  const int threads = resolve_threads(params.threads);
   RoutingSpace rs(chip);
   NetRouter router(rs);
+  DetailedScheduler sched(router, threads);
 
   // ISR global: negotiated 2D + layer assignment on the same capacities.
   GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
@@ -251,12 +276,12 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
   dp.use_pi_p = false;
   dp.layer_corridor = false;  // "purely gridless fashion"
   router.set_global(&gr, &routes);
-  router.route_all(dp, &report.detailed);
+  sched.route_all(dp, &report.detailed);
   report.br_seconds = total.seconds();
 
   if (params.run_cleanup) {
     BONN_TRACE_SPAN("router.drc_cleanup");
-    DrcCleanup cleanup(router);
+    DrcCleanup cleanup(router, &sched);
     CleanupParams cp = params.cleanup;
     cp.reroute = dp;
     report.cleanup = cleanup.run(cp);

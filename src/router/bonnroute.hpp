@@ -33,6 +33,12 @@ struct ObsParams {
 struct FlowParams {
   int tiles_x = 0;  ///< 0 = auto (≈50 tracks per tile, §2.1)
   int tiles_y = 0;
+  /// Worker threads for both phases (§5.1): the global sharing solver runs
+  /// in deterministic chunked mode and detailed routing goes through the
+  /// window scheduler, so any value — including 0 = auto-detect — yields
+  /// bit-identical results.  The BONN_THREADS environment variable, when
+  /// set, overrides this field.
+  int threads = 1;
   GlobalRouterParams global;
   IsrGlobalParams isr_global;
   NetRouteParams detailed;

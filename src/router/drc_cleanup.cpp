@@ -82,19 +82,29 @@ CleanupStats DrcCleanup::run(const CleanupParams& params) {
   RoutingSpace& rs = router_->space();
 
   for (int pass = 0; pass < params.passes; ++pass) {
-    const auto offenders = offending_nets();
+    auto offenders = offending_nets();
     if (offenders.empty()) break;
-    for (int net : offenders) {
-      if (stats.nets_rerouted >= params.max_reroutes) break;
-      router_->rip_net_tracked(net);
-      NetRouteParams rp = params.reroute;
-      rp.search.allowed_ripup = kStandard;
-      // A cleanup reroute must never convert a routed net into an open —
-      // commit even when some violation remains (it was violating before).
-      rp.commit_despite_violations = true;
-      router_->route_net(net, rp, nullptr, /*rip_depth=*/1);
-      ++stats.nets_rerouted;
+    // Deterministic cap: take the first budget-many offenders in order.
+    const int budget = params.max_reroutes - stats.nets_rerouted;
+    if (budget <= 0) break;
+    if (static_cast<int>(offenders.size()) > budget) {
+      offenders.resize(static_cast<std::size_t>(budget));
     }
+    NetRouteParams rp = params.reroute;
+    rp.search.allowed_ripup = kStandard;
+    // A cleanup reroute must never convert a routed net into an open —
+    // commit even when some violation remains (it was violating before).
+    rp.commit_despite_violations = true;
+    if (sched_) {
+      sched_->route_nets(offenders, rp, nullptr, /*rip_first=*/true,
+                         /*rip_depth=*/1);
+    } else {
+      for (int net : offenders) {
+        router_->rip_net_tracked(net);
+        router_->route_net(net, rp, nullptr, /*rip_depth=*/1);
+      }
+    }
+    stats.nets_rerouted += static_cast<int>(offenders.size());
   }
   stats.segments_extended = extend_short_segments();
   // Minimum-area re-patching after all the local surgery.

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "src/detailed/net_router.hpp"
+#include "src/detailed/scheduler.hpp"
 #include "src/drc/audit.hpp"
 
 namespace bonn {
@@ -27,7 +28,11 @@ struct CleanupStats {
 
 class DrcCleanup {
  public:
-  explicit DrcCleanup(NetRouter& router) : router_(&router) {}
+  /// With a scheduler, the reroutes run under the §5.1 window discipline
+  /// (parallel across disjoint windows, deterministic at any thread
+  /// count); without one, the legacy sequential loop is used.
+  explicit DrcCleanup(NetRouter& router, DetailedScheduler* sched = nullptr)
+      : router_(&router), sched_(sched) {}
 
   CleanupStats run(const CleanupParams& params);
 
@@ -38,6 +43,7 @@ class DrcCleanup {
   int extend_short_segments();
 
   NetRouter* router_;
+  DetailedScheduler* sched_;
 };
 
 }  // namespace bonn

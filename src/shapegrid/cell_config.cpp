@@ -34,6 +34,7 @@ CellConfigTable::CellConfigTable() {
 
 int CellConfigTable::intern(CellConfig c) {
   std::sort(c.shapes.begin(), c.shapes.end());
+  std::unique_lock<std::shared_mutex> lk = write_guard();
   auto it = ids_.find(c);
   if (it != ids_.end()) return it->second;
   const int id = static_cast<int>(configs_.size());

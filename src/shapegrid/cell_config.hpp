@@ -10,6 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +56,13 @@ struct CellConfigHash {
 /// Hash-consing table: equal configurations share one configuration number.
 /// Configurations are immutable; derived configurations (base + shape,
 /// base - shape) get their own numbers.
+///
+/// Concurrency contract (§5.1): with set_concurrent(true), intern /
+/// add_shape / remove_shape take a unique lock and get() takes a shared
+/// lock.  Storage is a deque so references returned by get() stay valid
+/// while other threads intern new configurations.  With set_concurrent
+/// (false) — the default — no locks are taken and the table is
+/// single-thread only, matching the original behavior.
 class CellConfigTable {
  public:
   CellConfigTable();
@@ -66,16 +76,35 @@ class CellConfigTable {
   int remove_shape(int base, const CellShape& s);
 
   const CellConfig& get(int id) const {
+    std::shared_lock<std::shared_mutex> lk = read_guard();
     return configs_[static_cast<std::size_t>(id)];
   }
   bool empty_config(int id) const { return id == kEmpty; }
 
   /// Number of distinct configurations ever seen (Fig. 3 statistic).
-  std::size_t size() const { return configs_.size(); }
+  std::size_t size() const {
+    std::shared_lock<std::shared_mutex> lk = read_guard();
+    return configs_.size();
+  }
+
+  /// Toggle internal locking; must be called with no concurrent users.
+  void set_concurrent(bool on) { concurrent_ = on; }
 
  private:
-  std::vector<CellConfig> configs_;
+  std::shared_lock<std::shared_mutex> read_guard() const {
+    return concurrent_ ? std::shared_lock<std::shared_mutex>(mu_)
+                       : std::shared_lock<std::shared_mutex>();
+  }
+  std::unique_lock<std::shared_mutex> write_guard() const {
+    return concurrent_ ? std::unique_lock<std::shared_mutex>(mu_)
+                       : std::unique_lock<std::shared_mutex>();
+  }
+
+  // Deque: push_back never invalidates references handed out by get().
+  std::deque<CellConfig> configs_;
   std::unordered_map<CellConfig, int, CellConfigHash> ids_;
+  mutable std::shared_mutex mu_;
+  bool concurrent_ = false;
 };
 
 }  // namespace bonn

@@ -71,6 +71,9 @@ void ShapeGrid::apply(const Shape& s, RipupLevel ripup, bool inserting) {
 
   for (Coord r = rlo; r <= rhi; ++r) {
     auto& row = g.rows[static_cast<std::size_t>(r)];
+    // Row lock is held across the whole read-modify-write of each cell and
+    // around the config-table calls (lock order: row, then table).
+    auto lk = row_write(s.global_layer, r);
     for (Coord c = clo; c <= chi; ++c) {
       const Rect cell = cell_rect(g, static_cast<int>(r), c);
       const Rect clip = s.rect.intersection(cell);
@@ -141,6 +144,7 @@ void ShapeGrid::query(int global_layer, const Rect& window,
       cell_span(along.lo, along.hi, g.origin_along, g.cell, g.cells_per_row);
   for (Coord r = rlo; r <= rhi; ++r) {
     const auto& row = g.rows[static_cast<std::size_t>(r)];
+    auto lk = row_read(global_layer, r);
     row.for_each(clo, chi + 1, [&](Coord plo, Coord phi, const CellEntry& e) {
       if (table_.empty_config(e.config)) return;
       const CellConfig& cfg = table_.get(e.config);
@@ -164,14 +168,22 @@ bool ShapeGrid::region_empty(int global_layer, const Rect& window) const {
 
 std::size_t ShapeGrid::interval_count() const {
   std::size_t n = 0;
-  for (const LayerGrid& g : layers_) {
-    for (const auto& row : g.rows) {
-      row.for_each(0, g.cells_per_row, [&](Coord, Coord, const CellEntry& e) {
-        if (!table_.empty_config(e.config)) ++n;
-      });
+  for (std::size_t gl = 0; gl < layers_.size(); ++gl) {
+    const LayerGrid& g = layers_[gl];
+    for (std::size_t r = 0; r < g.rows.size(); ++r) {
+      auto lk = row_read(static_cast<int>(gl), static_cast<Coord>(r));
+      g.rows[r].for_each(0, g.cells_per_row,
+                         [&](Coord, Coord, const CellEntry& e) {
+                           if (!table_.empty_config(e.config)) ++n;
+                         });
     }
   }
   return n;
+}
+
+void ShapeGrid::set_concurrent(bool on) {
+  concurrent_ = on;
+  table_.set_concurrent(on);
 }
 
 }  // namespace bonn

@@ -11,8 +11,11 @@
 // be ripped up.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 
 #include "src/geom/interval_map.hpp"
@@ -68,7 +71,18 @@ class ShapeGrid {
   const Rect& die() const { return die_; }
   int num_layers() const { return static_cast<int>(layers_.size()); }
 
+  /// Concurrency contract (§5.1): rows are interval maps spanning the whole
+  /// die, so even writers confined to disjoint routing windows share row
+  /// objects.  With set_concurrent(true), every row access goes through one
+  /// of kLockShards reader-writer locks keyed by (layer, row) — writes in
+  /// apply() hold the shard exclusively, query() holds it shared — and the
+  /// config table locks itself (lock order is always row, then table).
+  /// With set_concurrent(false), the default, no locks are taken.
+  /// Must only be toggled while no other thread touches the grid.
+  void set_concurrent(bool on);
+
  private:
+  static constexpr std::size_t kLockShards = 64;
   struct CellEntry {
     int config = CellConfigTable::kEmpty;
     int net = -1;
@@ -91,9 +105,26 @@ class ShapeGrid {
 
   Rect cell_rect(const LayerGrid& g, int row, Coord cell_idx) const;
 
+  std::shared_mutex& row_shard(int layer, Coord row) const {
+    const std::size_t h =
+        static_cast<std::size_t>(layer) * 1315423911u +
+        static_cast<std::size_t>(row) * 2654435761u;
+    return row_mu_[h % kLockShards];
+  }
+  std::shared_lock<std::shared_mutex> row_read(int layer, Coord row) const {
+    return concurrent_ ? std::shared_lock<std::shared_mutex>(row_shard(layer, row))
+                       : std::shared_lock<std::shared_mutex>();
+  }
+  std::unique_lock<std::shared_mutex> row_write(int layer, Coord row) const {
+    return concurrent_ ? std::unique_lock<std::shared_mutex>(row_shard(layer, row))
+                       : std::unique_lock<std::shared_mutex>();
+  }
+
   Rect die_;
   std::vector<LayerGrid> layers_;  ///< indexed by global layer
   CellConfigTable table_;
+  mutable std::array<std::shared_mutex, kLockShards> row_mu_;
+  bool concurrent_ = false;
 };
 
 }  // namespace bonn

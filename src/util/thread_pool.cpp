@@ -37,16 +37,22 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
   if (n == 0) return;
-  // Dynamic index dispatch: a shared atomic counter keeps threads busy even
-  // when per-item cost is skewed (routing regions are).
+  if (grain == 0) grain = 1;
+  // Dynamic chunk dispatch: a shared atomic counter keeps threads busy even
+  // when per-item cost is skewed (routing regions are); each claim takes
+  // `grain` consecutive indices.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t tasks = std::min(n, workers_.size());
+  const std::size_t chunks = (n + grain - 1) / grain;
+  const std::size_t tasks = std::min(chunks, workers_.size());
   for (std::size_t t = 0; t < tasks; ++t) {
-    submit([next, n, &fn] {
-      for (std::size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
-        fn(i);
+    submit([next, n, grain, &fn] {
+      for (std::size_t i = next->fetch_add(grain); i < n;
+           i = next->fetch_add(grain)) {
+        const std::size_t hi = std::min(n, i + grain);
+        for (std::size_t j = i; j < hi; ++j) fn(j);
       }
     });
   }

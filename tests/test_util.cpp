@@ -63,6 +63,40 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForGrainCoversAllIndices) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {0ul, 1ul, 3ul, 16ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(257, [&](std::size_t i) { ++hits[i]; }, grain);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, GrainBatchesAreContiguous) {
+  // Within one grain batch, indices run consecutively on one thread; record
+  // the batch id per index and check each batch covers a contiguous range.
+  ThreadPool pool(3);
+  const std::size_t n = 100, grain = 7;
+  std::vector<int> batch(n, -1);
+  std::atomic<int> next_batch{0};
+  pool.parallel_for(
+      n,
+      [&](std::size_t i) {
+        thread_local int id = -1;
+        thread_local std::size_t last = 0;
+        if (id < 0 || i != last + 1) id = next_batch++;
+        last = i;
+        batch[i] = id;
+      },
+      grain);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ASSERT_GE(batch[i], 0);
+    if (batch[i] == batch[i + 1]) continue;
+    // A batch boundary must fall on a grain multiple.
+    EXPECT_EQ((i + 1) % grain, 0u) << "boundary at " << i + 1;
+  }
+}
+
 TEST(ThreadPool, SubmitAndWait) {
   ThreadPool pool(3);
   std::atomic<int> sum{0};

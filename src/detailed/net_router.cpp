@@ -151,8 +151,29 @@ std::vector<TrackVertex> path_vertices(const TrackGraph& tg,
 
 bool NetRouter::route_net(int net, const NetRouteParams& params,
                           DetailedStats* stats, int rip_depth) {
-  return connect_components(net, params, stats, rip_depth,
-                            params.search.allowed_ripup);
+  // An enclosing transaction (cleanup rip+reroute, the scheduler, ECO) owns
+  // the restore policy; otherwise route under our own transaction so a
+  // failed attempt leaves the routing space exactly as it found it.
+  if (RoutingTransaction::current(rs_) != nullptr) {
+    return connect_components(net, params, stats, rip_depth,
+                              params.search.allowed_ripup);
+  }
+  RoutingTransaction txn(*rs_);
+  const bool ok = connect_components(net, params, stats, rip_depth,
+                                     params.search.allowed_ripup);
+  if (ok) {
+    if (stats) {
+      stats->dirty.merge(txn.dirty());
+      stats->touched_nets.insert(stats->touched_nets.end(),
+                                 txn.touched_nets().begin(),
+                                 txn.touched_nets().end());
+    }
+    txn.commit();
+  } else {
+    txn.rollback();
+    if (stats) ++stats->rollbacks;
+  }
+  return ok;
 }
 
 bool NetRouter::connect_components(int net, const NetRouteParams& params,
@@ -281,13 +302,15 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     }
     if (sources.empty()) {
       // Dead component: no pins and no on-track vertices can arise from
-      // orphaned repair patches — drop its paths and continue.
+      // orphaned repair patches — drop its paths and continue.  Stable path
+      // ids stay valid across removals, unlike positions.
       if (comps[src_i].pins.empty() && !comps[src_i].paths.empty()) {
-        std::vector<int> doomed = comps[src_i].paths;
-        std::sort(doomed.rbegin(), doomed.rend());
-        for (int pidx : doomed) {
-          rs_->remove_recorded(net, static_cast<std::size_t>(pidx));
+        std::vector<std::uint64_t> doomed;
+        for (int pidx : comps[src_i].paths) {
+          doomed.push_back(
+              rs_->path_ids(net)[static_cast<std::size_t>(pidx)]);
         }
+        for (std::uint64_t id : doomed) rs_->remove_recorded_by_id(net, id);
         continue;
       }
       BONN_LOGF(obs::LogLevel::kDebug,
@@ -568,8 +591,16 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
     }
 
     for (const RoutedPath& p : new_paths) rs_->commit_path(p);
+    RoutingTransaction* txn = RoutingTransaction::current(rs_);
     for (int pid : commit_access_pins) {
       sh.access_committed[static_cast<std::size_t>(pid)] = 1;
+      // The committed access path is journaled wiring; a rollback removing
+      // it must also clear the flag, or the pin would never re-commit.
+      if (txn) {
+        DetailedShared* shp = &sh;
+        txn->on_rollback(
+            [shp, pid] { shp->access_committed[static_cast<std::size_t>(pid)] = 0; });
+      }
     }
     if (stats) ++stats->connections_routed;
     static obs::Counter& c_ok = obs::counter("detailed.connections_routed");
@@ -586,9 +617,36 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
 }
 
 void NetRouter::rip_net_tracked(int net) {
-  rs_->rip_net(net);
   const Net& n = rs_->chip().nets[static_cast<std::size_t>(net)];
   DetailedShared& sh = *shared_;
+  if (RoutingTransaction* txn = RoutingTransaction::current(rs_)) {
+    // A rollback restores the ripped wiring (including committed access
+    // paths), so the per-pin bookkeeping must come back with it.
+    struct PinState {
+      int pid;
+      std::vector<AccessPath> catalogue;
+      char built;
+      int selected;
+      char committed;
+    };
+    auto saved = std::make_shared<std::vector<PinState>>();
+    for (int pid : n.pins) {
+      const auto p = static_cast<std::size_t>(pid);
+      saved->push_back({pid, sh.catalogues[p], sh.catalogue_built[p],
+                        sh.selected[p], sh.access_committed[p]});
+    }
+    DetailedShared* shp = &sh;
+    txn->on_rollback([shp, saved] {
+      for (PinState& ps : *saved) {
+        const auto p = static_cast<std::size_t>(ps.pid);
+        shp->catalogues[p] = std::move(ps.catalogue);
+        shp->catalogue_built[p] = ps.built;
+        shp->selected[p] = ps.selected;
+        shp->access_committed[p] = ps.committed;
+      }
+    });
+  }
+  rs_->rip_net(net);
   for (int pid : n.pins) {
     const auto p = static_cast<std::size_t>(pid);
     sh.access_committed[p] = 0;

@@ -15,6 +15,7 @@
 
 #include "src/detailed/ontrack_search.hpp"
 #include "src/detailed/pin_access.hpp"
+#include "src/detailed/transaction.hpp"
 #include "src/detailed/vertex_search.hpp"
 #include "src/global/global_router.hpp"
 
@@ -54,6 +55,9 @@ struct DetailedStats {
   int nets_failed = 0;
   int ripups = 0;          ///< nets ripped and rerouted
   int pi_p_used = 0;       ///< searches that enabled the π_P refinement
+  int rollbacks = 0;       ///< routing transactions rolled back
+  DirtyRegion dirty;       ///< union of all committed transactions' regions
+  std::vector<int> touched_nets;  ///< nets whose recorded paths changed
   SearchStats search;
   double seconds = 0;
 };

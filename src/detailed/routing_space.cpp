@@ -1,5 +1,8 @@
 #include "src/detailed/routing_space.hpp"
 
+#include <utility>
+
+#include "src/detailed/transaction.hpp"
 #include "src/util/assert.hpp"
 
 namespace bonn {
@@ -13,6 +16,8 @@ RoutingSpace::RoutingSpace(const Chip& chip) : chip_(&chip) {
   fast_ = std::make_unique<FastGrid>(chip.tech, *tg_, *checker_);
   fast_->rebuild();
   net_paths_.resize(chip.nets.size());
+  net_path_ids_.resize(chip.nets.size());
+  next_path_id_.resize(chip.nets.size(), 0);
 }
 
 RipupLevel RoutingSpace::net_level(int net) const {
@@ -22,46 +27,92 @@ RipupLevel RoutingSpace::net_level(int net) const {
 }
 
 void RoutingSpace::insert_shape(const Shape& s, RipupLevel level) {
-  grid_->insert(s, level);
-  fast_->on_change(s);
+  insert_shapes(std::span<const Shape>(&s, 1), level);
 }
 
 void RoutingSpace::remove_shape(const Shape& s, RipupLevel level) {
-  grid_->remove(s, level);
-  fast_->on_change(s);
+  remove_shapes(std::span<const Shape>(&s, 1), level);
 }
 
-void RoutingSpace::commit_path(const RoutedPath& path) {
-  BONN_CHECK(path.net >= 0);
-  const RipupLevel level = net_level(path.net);
-  const auto shapes = expand_path(path, chip_->tech);
+// Every mutator journals *before* touching the grid, so the transaction can
+// capture before-images of the affected row segments.
+
+void RoutingSpace::insert_shapes(std::span<const Shape> shapes,
+                                 RipupLevel level) {
+  if (RoutingTransaction* txn = RoutingTransaction::current(this))
+    txn->note_shapes(/*inserted=*/true, shapes, level);
   for (const Shape& s : shapes) grid_->insert(s, level);
   fast_->on_change_all(shapes);
-  net_paths_[static_cast<std::size_t>(path.net)].push_back(path);
+}
+
+void RoutingSpace::remove_shapes(std::span<const Shape> shapes,
+                                 RipupLevel level) {
+  if (RoutingTransaction* txn = RoutingTransaction::current(this))
+    txn->note_shapes(/*inserted=*/false, shapes, level);
+  for (const Shape& s : shapes) grid_->remove(s, level);
+  fast_->on_change_all(shapes);
+}
+
+std::uint64_t RoutingSpace::commit_path(const RoutedPath& path) {
+  BONN_CHECK(path.net >= 0);
+  const auto net = static_cast<std::size_t>(path.net);
+  const RipupLevel level = net_level(path.net);
+  const auto shapes = expand_path(path, chip_->tech);
+  const std::uint64_t id = next_path_id_[net];
+  if (RoutingTransaction* txn = RoutingTransaction::current(this))
+    txn->note_commit_path(path.net, id, shapes);
+  for (const Shape& s : shapes) grid_->insert(s, level);
+  fast_->on_change_all(shapes);
+  next_path_id_[net] = id + 1;
+  net_paths_[net].push_back(path);
+  net_path_ids_[net].push_back(id);
+  return id;
 }
 
 std::vector<RoutedPath> RoutingSpace::rip_net(int net) {
   auto& paths = net_paths_[static_cast<std::size_t>(net)];
+  auto& ids = net_path_ids_[static_cast<std::size_t>(net)];
   const RipupLevel level = net_level(net);
   std::vector<Shape> all;
-  for (const RoutedPath& p : paths) {
-    for (const Shape& s : expand_path(p, chip_->tech)) {
-      grid_->remove(s, level);
-      all.push_back(s);
-    }
-  }
+  for (const RoutedPath& p : paths)
+    for (const Shape& s : expand_path(p, chip_->tech)) all.push_back(s);
+  if (RoutingTransaction* txn = RoutingTransaction::current(this))
+    txn->note_rip_net(net, paths, ids, all);  // journal keeps copies
+  for (const Shape& s : all) grid_->remove(s, level);
   fast_->on_change_all(all);
-  return std::move(paths);
+  std::vector<RoutedPath> out = std::move(paths);
+  paths.clear();
+  ids.clear();
+  return out;
 }
 
 void RoutingSpace::remove_recorded(int net, std::size_t path_index) {
   auto& paths = net_paths_[static_cast<std::size_t>(net)];
+  auto& ids = net_path_ids_[static_cast<std::size_t>(net)];
   BONN_CHECK(path_index < paths.size());
   const RipupLevel level = net_level(net);
   const auto shapes = expand_path(paths[path_index], chip_->tech);
+  if (RoutingTransaction* txn = RoutingTransaction::current(this))
+    txn->note_remove_recorded(net, path_index, ids[path_index],
+                              paths[path_index], shapes);
   for (const Shape& s : shapes) grid_->remove(s, level);
   fast_->on_change_all(shapes);
   paths.erase(paths.begin() + static_cast<std::ptrdiff_t>(path_index));
+  ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(path_index));
+}
+
+void RoutingSpace::remove_recorded_by_id(int net, std::uint64_t path_id) {
+  const auto idx = recorded_index(net, path_id);
+  BONN_CHECK(idx.has_value());
+  remove_recorded(net, *idx);
+}
+
+std::optional<std::size_t> RoutingSpace::recorded_index(
+    int net, std::uint64_t path_id) const {
+  const auto& ids = net_path_ids_[static_cast<std::size_t>(net)];
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (ids[i] == path_id) return i;
+  return std::nullopt;
 }
 
 RoutingResult RoutingSpace::result() const {
@@ -70,17 +121,58 @@ RoutingResult RoutingSpace::result() const {
   return r;
 }
 
+void RoutingSpace::load_result(const RoutingResult& prior) {
+  // Bulk reload, used by the ECO entry point; bypasses the journal and
+  // rebuilds the fast grid once, so it must not run inside a transaction.
+  BONN_CHECK(RoutingTransaction::current(this) == nullptr);
+  BONN_CHECK(prior.net_paths.size() == net_paths_.size());
+  for (std::size_t n = 0; n < net_paths_.size(); ++n) {
+    const RipupLevel level = net_level(static_cast<int>(n));
+    for (const RoutedPath& p : net_paths_[n])
+      for (const Shape& s : expand_path(p, chip_->tech))
+        grid_->remove(s, level);
+    net_paths_[n].clear();
+    net_path_ids_[n].clear();
+    next_path_id_[n] = 0;
+  }
+  for (std::size_t n = 0; n < prior.net_paths.size(); ++n) {
+    const RipupLevel level = net_level(static_cast<int>(n));
+    for (const RoutedPath& p : prior.net_paths[n]) {
+      BONN_CHECK(p.net == static_cast<int>(n));
+      for (const Shape& s : expand_path(p, chip_->tech))
+        grid_->insert(s, level);
+      net_paths_[n].push_back(p);
+      net_path_ids_[n].push_back(next_path_id_[n]++);
+    }
+  }
+  fast_->rebuild();
+}
+
 RoutingSpace::Reservation::Reservation(RoutingSpace& rs,
                                        std::vector<Shape> shapes,
                                        RipupLevel level)
-    : rs_(rs), shapes_(std::move(shapes)), level_(level) {
-  for (const Shape& s : shapes_) rs_.grid_->remove(s, level_);
-  rs_.fast_->on_change_all(shapes_);
+    : rs_(&rs), shapes_(std::move(shapes)), level_(level) {
+  rs_->remove_shapes(shapes_, level_);
 }
 
-RoutingSpace::Reservation::~Reservation() {
-  for (const Shape& s : shapes_) rs_.grid_->insert(s, level_);
-  rs_.fast_->on_change_all(shapes_);
+RoutingSpace::Reservation::~Reservation() { release(); }
+
+RoutingSpace::Reservation& RoutingSpace::Reservation::operator=(
+    Reservation&& o) noexcept {
+  if (this != &o) {
+    release();
+    rs_ = std::exchange(o.rs_, nullptr);
+    shapes_ = std::move(o.shapes_);
+    level_ = o.level_;
+  }
+  return *this;
+}
+
+void RoutingSpace::Reservation::release() {
+  if (!rs_) return;
+  rs_->insert_shapes(shapes_, level_);
+  rs_ = nullptr;
+  shapes_.clear();
 }
 
 }  // namespace bonn

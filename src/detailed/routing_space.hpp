@@ -6,9 +6,17 @@
 // grid neighbourhood.  Also owns the routed paths per net, so rip-up (§4.2)
 // and the temporary removal of connected components during path search
 // (§4.4) are single calls.
+//
+// All mutators are transaction-aware: while a RoutingTransaction
+// (transaction.hpp) is open on the calling thread for this space, every
+// mutation is journaled and can be rolled back bit-identically.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
+#include <utility>
 
 #include "src/db/chip.hpp"
 #include "src/drc/checker.hpp"
@@ -17,6 +25,8 @@
 #include "src/tracks/track_graph.hpp"
 
 namespace bonn {
+
+class RoutingTransaction;
 
 // Concurrency contract (§5.1).  By default the routing space is single-
 // threaded, exactly as before.  set_concurrent(true) arms the internal
@@ -53,30 +63,61 @@ class RoutingSpace {
   /// Ripup level for a net's wiring (critical nets are harder to rip).
   RipupLevel net_level(int net) const;
 
-  /// Insert a routed path (updates shape grid + fast grid) and record it.
-  void commit_path(const RoutedPath& path);
+  /// Insert a routed path (updates shape grid + fast grid) and record it
+  /// under a fresh stable path id.  Returns the id.
+  std::uint64_t commit_path(const RoutedPath& path);
   /// Remove all paths of a net (rip-up); returns them for possible restore.
   std::vector<RoutedPath> rip_net(int net);
-  /// Remove one recorded path of a net.
+  /// Remove one recorded path of a net by its *current* position in
+  /// paths(net).  Removal shifts the indices of all later paths — prefer
+  /// remove_recorded_by_id when holding on to handles across mutations.
   void remove_recorded(int net, std::size_t path_index);
+  /// Remove one recorded path by its stable id (ids never shift).
+  void remove_recorded_by_id(int net, std::uint64_t path_id);
 
   const std::vector<RoutedPath>& paths(int net) const {
     return net_paths_[static_cast<std::size_t>(net)];
   }
+  /// Stable ids parallel to paths(net): ids are assigned per net in
+  /// monotonically increasing order and are never reused, so they stay
+  /// valid across removals of other paths.  Deterministic under the
+  /// single-owner rule (one thread mutates a given net at a time).
+  const std::vector<std::uint64_t>& path_ids(int net) const {
+    return net_path_ids_[static_cast<std::size_t>(net)];
+  }
+  /// Current position of a path id in paths(net), if still recorded.
+  std::optional<std::size_t> recorded_index(int net,
+                                            std::uint64_t path_id) const;
+
   RoutingResult result() const;
+  /// Replace all recorded wiring with `prior` (ECO entry: resume from a
+  /// saved RoutingResult).  Bulk operation — must not run inside an open
+  /// transaction; path ids restart from 0.
+  void load_result(const RoutingResult& prior);
 
   /// Temporarily remove shapes (e.g. of the source/target components during
   /// a search, §4.4); returns a token restoring them on destruction.
+  /// Movable, so helpers can build and return reservations; journal-backed,
+  /// so it nests inside any enclosing RoutingTransaction.
   class Reservation {
    public:
     Reservation(RoutingSpace& rs, std::vector<Shape> shapes,
                 RipupLevel level);
     ~Reservation();
+    Reservation(Reservation&& o) noexcept
+        : rs_(std::exchange(o.rs_, nullptr)),
+          shapes_(std::move(o.shapes_)),
+          level_(o.level_) {}
+    Reservation& operator=(Reservation&& o) noexcept;
     Reservation(const Reservation&) = delete;
     Reservation& operator=(const Reservation&) = delete;
 
+    /// Restore the shapes now instead of at destruction.
+    void release();
+    bool active() const { return rs_ != nullptr; }
+
    private:
-    RoutingSpace& rs_;
+    RoutingSpace* rs_;
     std::vector<Shape> shapes_;
     RipupLevel level_;
   };
@@ -84,14 +125,24 @@ class RoutingSpace {
   /// Raw shape-level mutation (kept consistent with the fast grid).
   void insert_shape(const Shape& s, RipupLevel level);
   void remove_shape(const Shape& s, RipupLevel level);
+  /// Batch variants: one journal entry, one fast-grid refresh.
+  void insert_shapes(std::span<const Shape> shapes, RipupLevel level);
+  void remove_shapes(std::span<const Shape> shapes, RipupLevel level);
 
  private:
+  friend class RoutingTransaction;
+
   const Chip* chip_;
   std::unique_ptr<TrackGraph> tg_;
   std::unique_ptr<ShapeGrid> grid_;
   std::unique_ptr<DrcChecker> checker_;
   std::unique_ptr<FastGrid> fast_;
   std::vector<std::vector<RoutedPath>> net_paths_;
+  // Stable id per recorded path, parallel to net_paths_, plus the per-net
+  // next-id counter (per-net so id assignment is deterministic under
+  // window-parallel routing).
+  std::vector<std::vector<std::uint64_t>> net_path_ids_;
+  std::vector<std::uint64_t> next_path_id_;
 };
 
 }  // namespace bonn

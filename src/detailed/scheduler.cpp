@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/detailed/transaction.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
@@ -27,6 +28,10 @@ void merge_stats(DetailedStats& into, const DetailedStats& s) {
   into.nets_failed += s.nets_failed;
   into.ripups += s.ripups;
   into.pi_p_used += s.pi_p_used;
+  into.rollbacks += s.rollbacks;
+  into.dirty.merge(s.dirty);
+  into.touched_nets.insert(into.touched_nets.end(), s.touched_nets.begin(),
+                           s.touched_nets.end());
   into.search.labels_created += s.search.labels_created;
   into.search.pops += s.search.pops;
   into.search.station_expansions += s.search.station_expansions;
@@ -86,6 +91,38 @@ void DetailedScheduler::return_worker(NetRouter* r) {
   free_workers_.push_back(r);
 }
 
+bool DetailedScheduler::attempt_net(NetRouter* r, int net,
+                                    const NetRouteParams& params,
+                                    DetailedStats* stats, bool rip_first,
+                                    int rip_depth) {
+  RoutingTransaction txn(*rs_);
+  if (rip_first) r->rip_net_tracked(net);
+  const bool ok = r->route_net(net, params, stats, rip_depth);
+  if (ok) {
+    // A net this transaction ripped may have been left open (or rerouted
+    // differently) — recheck it next round.  The routed net itself is
+    // settled until some later transaction touches it.
+    for (int t : txn.touched_nets()) {
+      maybe_open_[static_cast<std::size_t>(t)] = 1;
+    }
+    maybe_open_[static_cast<std::size_t>(net)] = 0;
+    if (stats) {
+      stats->dirty.merge(txn.dirty());
+      stats->touched_nets.insert(stats->touched_nets.end(),
+                                 txn.touched_nets().begin(),
+                                 txn.touched_nets().end());
+    }
+    txn.commit();
+  } else {
+    // Restore-on-failure: the rip (if any) and all partial progress are
+    // undone, so a failed cleanup/ECO reroute never converts a routed net
+    // into an open.
+    txn.rollback();
+    if (stats) ++stats->rollbacks;
+  }
+  return ok;
+}
+
 int DetailedScheduler::route_nets(const std::vector<int>& nets,
                                   const NetRouteParams& params,
                                   DetailedStats* stats, bool rip_first,
@@ -93,6 +130,9 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
   if (nets.empty()) return 0;
   const Chip& chip = rs_->chip();
   const Coord margin = window_margin(params);
+  if (maybe_open_.size() != chip.nets.size()) {
+    maybe_open_.assign(chip.nets.size(), 1);
+  }
 
   Pass pass;
   pass.die = chip.die;
@@ -113,12 +153,13 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
     // One window covering the die: the mask would admit every net, so this
     // is exactly the plain sequential loop.
     for (int net : nets) {
-      if (rip_first) {
-        owner_->rip_net_tracked(net);
-      } else if (owner_->net_connected(net)) {
+      if (!rip_first && owner_->net_connected(net)) {
+        maybe_open_[static_cast<std::size_t>(net)] = 0;
         continue;
       }
-      if (!owner_->route_net(net, params, stats, rip_depth)) ++failures;
+      if (!attempt_net(owner_, net, params, stats, rip_first, rip_depth)) {
+        ++failures;
+      }
     }
     return failures;
   }
@@ -184,12 +225,11 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
       NetRouteParams wp = params;
       wp.rip_allowed = &wt.mask;
       for (int net : wt.nets) {
-        if (rip_first) {
-          r->rip_net_tracked(net);
-        } else if (r->net_connected(net)) {
+        if (!rip_first && r->net_connected(net)) {
+          maybe_open_[static_cast<std::size_t>(net)] = 0;
           continue;
         }
-        if (!r->route_net(net, wp, &wt.local, rip_depth)) {
+        if (!attempt_net(r, net, wp, &wt.local, rip_first, rip_depth)) {
           wt.failed.push_back(net);
         }
       }
@@ -218,16 +258,19 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
   // ---- serial phase: cross-window nets plus window failures (the latter
   // retried without a mask, so victims outside their window are reachable
   // now that no other window is in flight), in the pass's global order.
+  // A failed window attempt rolled back, so with rip_first the net's old
+  // wiring is in place again and the serial retry rips it once more.
   for (int net : nets) {
     const std::size_t n = static_cast<std::size_t>(net);
     const bool is_cross = win_of[n] < 0;
     if (!is_cross && !failed_in_window[n]) continue;
-    if (rip_first && is_cross) {
-      owner_->rip_net_tracked(net);  // window nets were ripped in-window
-    } else if (!rip_first && owner_->net_connected(net)) {
+    if (!rip_first && owner_->net_connected(net)) {
+      maybe_open_[n] = 0;
       continue;
     }
-    if (!owner_->route_net(net, params, stats, rip_depth)) ++failures;
+    if (!attempt_net(owner_, net, params, stats, rip_first, rip_depth)) {
+      ++failures;
+    }
   }
   return failures;
 }
@@ -241,6 +284,7 @@ void DetailedScheduler::route_all(const NetRouteParams& params,
   owner_->precompute_access(params);
   const Chip& chip = rs_->chip();
   const std::vector<int> order = NetRouter::route_order(chip);
+  maybe_open_.assign(chip.nets.size(), 1);
 
   int failed = 0;
   for (int round = 0; round < params.rounds; ++round) {
@@ -255,9 +299,17 @@ void DetailedScheduler::route_all(const NetRouteParams& params,
     (round == 0 ? c_r0 : round == 1 ? c_r1 : c_r2).add();
     rp.corridor_halo = params.corridor_halo + round;
     rp.commit_despite_violations = round == params.rounds - 1;
+    // Per-transaction dirty tracking replaces whole-net conservatism: a net
+    // is rechecked only if some transaction touched its wiring since it
+    // last routed successfully.
     std::vector<int> pending;
     for (int net : order) {
-      if (!owner_->net_connected(net)) pending.push_back(net);
+      if (!maybe_open_[static_cast<std::size_t>(net)]) continue;
+      if (owner_->net_connected(net)) {
+        maybe_open_[static_cast<std::size_t>(net)] = 0;
+        continue;
+      }
+      pending.push_back(net);
     }
     failed = route_nets(pending, rp, stats, /*rip_first=*/false,
                         /*rip_depth=*/0);

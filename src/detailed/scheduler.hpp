@@ -51,6 +51,13 @@ class DetailedScheduler {
   NetRouter* checkout_worker();
   void return_worker(NetRouter* r);
 
+  /// Route one net under its own RoutingTransaction (ripping it first when
+  /// `rip_first`): commit on success, roll back — restoring the pre-attempt
+  /// wiring — on failure.  Updates the maybe-open cache from the
+  /// transaction's touched-net set.
+  bool attempt_net(NetRouter* r, int net, const NetRouteParams& params,
+                   DetailedStats* stats, bool rip_first, int rip_depth);
+
   NetRouter* owner_;
   RoutingSpace* rs_;
   int threads_;
@@ -58,6 +65,15 @@ class DetailedScheduler {
   std::vector<std::unique_ptr<NetRouter>> workers_;
   std::mutex worker_mu_;
   std::vector<NetRouter*> free_workers_;
+
+  /// Per-net "might be unconnected" cache, maintained from the per-
+  /// transaction touched-net sets: 0 only when the net routed successfully
+  /// and no later transaction touched its wiring, so route_all can skip the
+  /// whole-net connectivity recomputation for untouched nets between
+  /// rounds.  Conservative — a spurious 1 only costs a recheck.  Window
+  /// workers write disjoint elements (victims stay inside the window mask),
+  /// so no synchronisation is needed.
+  std::vector<char> maybe_open_;
 };
 
 }  // namespace bonn

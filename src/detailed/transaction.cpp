@@ -1,0 +1,225 @@
+#include "src/detailed/transaction.hpp"
+
+#include <utility>
+
+#include "src/detailed/routing_space.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+// Innermost open transaction of the calling thread (any space).  Strict LIFO
+// scoping makes a singly linked stack through prev_ sufficient; thread-local
+// because window workers open transactions concurrently (§5.1).
+thread_local RoutingTransaction* tls_top = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DirtyRegion
+
+void DirtyRegion::add(const Rect& r, int global_layer) {
+  if (r.empty()) return;
+  bbox = bbox.hull(r);
+  if (global_layer >= 0) {
+    const auto gl = static_cast<std::size_t>(global_layer);
+    if (gl >= per_layer.size()) per_layer.resize(gl + 1);
+    per_layer[gl] = per_layer[gl].hull(r);
+  }
+}
+
+void DirtyRegion::merge(const DirtyRegion& o) {
+  bbox = bbox.hull(o.bbox);
+  if (o.per_layer.size() > per_layer.size())
+    per_layer.resize(o.per_layer.size());
+  for (std::size_t gl = 0; gl < o.per_layer.size(); ++gl)
+    per_layer[gl] = per_layer[gl].hull(o.per_layer[gl]);
+}
+
+bool DirtyRegion::intersects(const Rect& r, int global_layer,
+                             Coord margin) const {
+  if (global_layer < 0 ||
+      static_cast<std::size_t>(global_layer) >= per_layer.size())
+    return false;
+  return per_layer[static_cast<std::size_t>(global_layer)]
+      .expanded(margin)
+      .intersects(r);
+}
+
+// ---------------------------------------------------------------------------
+// RoutingTransaction
+
+RoutingTransaction::RoutingTransaction(RoutingSpace& rs)
+    : rs_(&rs), prev_(tls_top) {
+  tls_top = this;
+}
+
+RoutingTransaction::~RoutingTransaction() {
+  if (state_ == State::kOpen) rollback();
+}
+
+RoutingTransaction* RoutingTransaction::current(const RoutingSpace* rs) {
+  for (RoutingTransaction* t = tls_top; t; t = t->prev_)
+    if (t->rs_ == rs) return t;
+  return nullptr;
+}
+
+void RoutingTransaction::pop_stack() {
+  BONN_CHECK(tls_top == this);  // transactions are strictly scoped
+  tls_top = prev_;
+}
+
+void RoutingTransaction::on_rollback(std::function<void()> fn) {
+  BONN_CHECK(state_ == State::kOpen);
+  hooks_.push_back(std::move(fn));
+}
+
+void RoutingTransaction::commit() {
+  BONN_CHECK(state_ == State::kOpen);
+  pop_stack();
+  state_ = State::kCommitted;
+  static obs::Counter& commits = obs::counter("txn.commits");
+  commits.add();
+  // Splice into the enclosing transaction on the same space (if any), so its
+  // rollback undoes our committed work too.
+  if (RoutingTransaction* parent = current(rs_)) {
+    parent->journal_.insert(parent->journal_.end(),
+                            std::make_move_iterator(journal_.begin()),
+                            std::make_move_iterator(journal_.end()));
+    parent->dirty_.merge(dirty_);
+    parent->touched_.insert(parent->touched_.end(), touched_.begin(),
+                            touched_.end());
+    parent->hooks_.insert(parent->hooks_.end(),
+                          std::make_move_iterator(hooks_.begin()),
+                          std::make_move_iterator(hooks_.end()));
+    journal_.clear();
+    hooks_.clear();
+  }
+}
+
+void RoutingTransaction::rollback() {
+  BONN_CHECK(state_ == State::kOpen);
+  pop_stack();
+  state_ = State::kRolledBack;
+  static obs::Counter& rollbacks = obs::counter("txn.rollbacks");
+  static obs::Counter& entries = obs::counter("txn.rollback_entries");
+  rollbacks.add();
+  entries.add(static_cast<std::int64_t>(journal_.size()));
+
+  ShapeGrid& grid = *rs_->grid_;
+  std::vector<Shape> refresh;  // one batched fast-grid refresh at the end
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    Entry& e = *it;
+    // Reverse-chronological replay: when entry e is reached, every later
+    // mutation has already been rewound, so the rows currently hold the
+    // state just after e — and e.images hold the state just before it.
+    grid.restore(e.images);
+    switch (e.kind) {
+      case Entry::Kind::kInsertShapes:
+      case Entry::Kind::kRemoveShapes:
+        break;  // grid-only entries: the image restore is the whole undo
+      case Entry::Kind::kCommitPath: {
+        // Reverse-order replay guarantees the committed path is still the
+        // net's newest recorded path.
+        auto& paths = rs_->net_paths_[static_cast<std::size_t>(e.net)];
+        auto& ids = rs_->net_path_ids_[static_cast<std::size_t>(e.net)];
+        BONN_CHECK(!ids.empty() && ids.back() == e.path_id);
+        paths.pop_back();
+        ids.pop_back();
+        rs_->next_path_id_[static_cast<std::size_t>(e.net)] = e.path_id;
+        break;
+      }
+      case Entry::Kind::kRipNet: {
+        auto& paths = rs_->net_paths_[static_cast<std::size_t>(e.net)];
+        auto& ids = rs_->net_path_ids_[static_cast<std::size_t>(e.net)];
+        // The single-owner rule means nobody recorded new paths for the net
+        // between the rip and this rollback.
+        BONN_CHECK(paths.empty() && ids.empty());
+        paths = std::move(e.paths);
+        ids = std::move(e.path_ids);
+        break;
+      }
+      case Entry::Kind::kRemoveRecorded: {
+        auto& paths = rs_->net_paths_[static_cast<std::size_t>(e.net)];
+        auto& ids = rs_->net_path_ids_[static_cast<std::size_t>(e.net)];
+        BONN_CHECK(e.index <= paths.size() && e.paths.size() == 1);
+        paths.insert(paths.begin() + static_cast<std::ptrdiff_t>(e.index),
+                     std::move(e.paths.front()));
+        ids.insert(ids.begin() + static_cast<std::ptrdiff_t>(e.index),
+                   e.path_id);
+        break;
+      }
+    }
+    refresh.insert(refresh.end(), e.shapes.begin(), e.shapes.end());
+  }
+  rs_->fast_->on_change_all(refresh);
+  journal_.clear();
+  // Client-state undo runs after the routing space is consistent again.
+  for (auto it = hooks_.rbegin(); it != hooks_.rend(); ++it) (*it)();
+  hooks_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Journal hooks (called from RoutingSpace mutators)
+
+void RoutingTransaction::note_shapes(bool inserted,
+                                     std::span<const Shape> shapes,
+                                     RipupLevel level) {
+  Entry e;
+  e.images = rs_->grid_->capture(shapes);
+  e.kind = inserted ? Entry::Kind::kInsertShapes : Entry::Kind::kRemoveShapes;
+  e.level = level;
+  e.shapes.assign(shapes.begin(), shapes.end());
+  for (const Shape& s : shapes) dirty_.add(s);
+  journal_.push_back(std::move(e));
+}
+
+void RoutingTransaction::note_commit_path(int net, std::uint64_t path_id,
+                                          std::span<const Shape> shapes) {
+  Entry e;
+  e.images = rs_->grid_->capture(shapes);
+  e.kind = Entry::Kind::kCommitPath;
+  e.level = rs_->net_level(net);
+  e.net = net;
+  e.path_id = path_id;
+  e.shapes.assign(shapes.begin(), shapes.end());
+  for (const Shape& s : shapes) dirty_.add(s);
+  touched_.push_back(net);
+  journal_.push_back(std::move(e));
+}
+
+void RoutingTransaction::note_rip_net(int net, std::vector<RoutedPath> paths,
+                                      std::vector<std::uint64_t> ids,
+                                      std::span<const Shape> shapes) {
+  Entry e;
+  e.images = rs_->grid_->capture(shapes);
+  e.kind = Entry::Kind::kRipNet;
+  e.level = rs_->net_level(net);
+  e.net = net;
+  e.paths = std::move(paths);
+  e.path_ids = std::move(ids);
+  e.shapes.assign(shapes.begin(), shapes.end());
+  for (const Shape& s : shapes) dirty_.add(s);
+  touched_.push_back(net);
+  journal_.push_back(std::move(e));
+}
+
+void RoutingTransaction::note_remove_recorded(int net, std::size_t index,
+                                              std::uint64_t path_id,
+                                              RoutedPath path,
+                                              std::span<const Shape> shapes) {
+  Entry e;
+  e.images = rs_->grid_->capture(shapes);
+  e.kind = Entry::Kind::kRemoveRecorded;
+  e.level = rs_->net_level(net);
+  e.net = net;
+  e.index = index;
+  e.path_id = path_id;
+  e.paths.push_back(std::move(path));
+  e.shapes.assign(shapes.begin(), shapes.end());
+  for (const Shape& s : shapes) dirty_.add(s);
+  touched_.push_back(net);
+  journal_.push_back(std::move(e));
+}
+
+}  // namespace bonn

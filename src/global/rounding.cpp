@@ -8,6 +8,7 @@
 #include "src/util/assert.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/timer.hpp"
+#include "src/util/undo_log.hpp"
 
 namespace bonn {
 
@@ -118,7 +119,14 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
       const auto& sols = frac.per_net[n];
       if (sols.size() < 2) continue;
       if (!usage.uses_overflowed(out.per_net[n])) continue;
+      // Trial removal under an undo log: rollback re-applies the identical
+      // +1 update the hand-rolled restore used, so the floating-point usage
+      // state stays bit-identical on the no-improvement path.
+      UndoLog undo;
       usage.apply(static_cast<int>(n), out.per_net[n], -1);
+      undo.defer([&usage, n, sol = out.per_net[n]] {
+        usage.apply(static_cast<int>(n), sol, +1);
+      });
       const double cur = usage.added_overflow(static_cast<int>(n),
                                               out.per_net[n]);
       double best = cur;
@@ -138,8 +146,11 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
           rechosen[n] = 1;
         }
         improved = true;
+        undo.commit();
+        usage.apply(static_cast<int>(n), out.per_net[n], +1);
+      } else {
+        undo.rollback();
       }
-      usage.apply(static_cast<int>(n), out.per_net[n], +1);
     }
     if (!improved) break;
   }
@@ -163,7 +174,11 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
     for (std::size_t n = 0; n < N; ++n) {
       if (out.per_net[n].edges.empty()) continue;
       if (!usage.uses_overflowed(out.per_net[n])) continue;
+      UndoLog undo;
       usage.apply(static_cast<int>(n), out.per_net[n], -1);
+      undo.defer([&usage, n, sol = out.per_net[n]] {
+        usage.apply(static_cast<int>(n), sol, +1);
+      });
       SteinerSolution alt =
           oracle.solve(terminals[n], static_cast<int>(n), y, ws);
       if (usage.added_overflow(static_cast<int>(n), alt) <
@@ -171,8 +186,11 @@ IntegralAssignment round_and_fix(const ResourceModel& model,
         out.per_net[n] = std::move(alt);
         ++fresh;
         changed = true;
+        undo.commit();
+        usage.apply(static_cast<int>(n), out.per_net[n], +1);
+      } else {
+        undo.rollback();
       }
-      usage.apply(static_cast<int>(n), out.per_net[n], +1);
     }
     if (!changed) break;
   }

@@ -242,6 +242,142 @@ FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
   return report;
 }
 
+EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
+                       const std::vector<int>& net_ids,
+                       const FlowParams& params, RoutingResult* out) {
+  Timer total;
+  FlowObs flow_obs("eco", "flow.eco", params.obs);
+  EcoReport report;
+  report.nets_requested = static_cast<int>(net_ids.size());
+
+  const int threads = resolve_threads(params.threads);
+  RoutingSpace rs(chip);
+  {
+    BONN_TRACE_SPAN("eco.load_prior");
+    rs.load_result(prior);
+  }
+  NetRouter router(rs);
+  DetailedScheduler sched(router, threads);
+
+  NetRouteParams rp = params.detailed;
+  rp.search.allowed_ripup = kStandard;
+  // An ECO edit must never convert a routed net into an open: a clean
+  // reroute commits, a violating one commits too (it gets picked up by the
+  // collision sweep or a later cleanup), and a failed one rolls back to the
+  // prior wiring via the scheduler's per-net transaction.
+  rp.commit_despite_violations = true;
+
+  // DRC interaction distance around the dirty region: wiring further away
+  // cannot have been affected by the reroute.
+  constexpr Coord kCollisionMargin = 600;
+
+  DetailedStats& stats = report.detailed;
+  std::vector<char> rerouted(chip.nets.size(), 0);
+  std::vector<int> wave;
+  for (int id : net_ids) {
+    const auto n = static_cast<std::size_t>(id);
+    BONN_CHECK(n < chip.nets.size());
+    if (!rerouted[n]) {
+      rerouted[n] = 1;
+      wave.push_back(id);
+    }
+  }
+
+  // Rip + reroute the requested nets, then sweep the transactions' dirty
+  // regions for collision victims (nets whose wiring now violates near the
+  // new wiring) and reroute those too.  Bounded: each net reroutes at most
+  // once, and the sweep runs at most twice.
+  for (int pass = 0; pass < 3 && !wave.empty(); ++pass) {
+    {
+      BONN_TRACE_SPAN("eco.reroute_pass");
+      report.nets_failed +=
+          sched.route_nets(wave, rp, &stats, /*rip_first=*/true,
+                           /*rip_depth=*/0);
+      report.nets_rerouted += static_cast<int>(wave.size());
+    }
+    wave.clear();
+    if (pass == 2 || stats.dirty.empty()) break;
+    BONN_TRACE_SPAN("eco.collision_sweep");
+    // Wiring the reroute actually changed: the requested nets plus every
+    // rip-up victim its transactions touched.
+    std::vector<char> touched(chip.nets.size(), 0);
+    for (std::size_t i = 0; i < rerouted.size(); ++i) touched[i] = rerouted[i];
+    for (int id : stats.touched_nets) touched[static_cast<std::size_t>(id)] = 1;
+    const auto touched_blocker = [&](const PlacementCheck& pc) {
+      for (int b : pc.blocking_nets)
+        if (b >= 0 && touched[static_cast<std::size_t>(b)]) return true;
+      return false;
+    };
+    for (const Net& n : chip.nets) {
+      if (rerouted[static_cast<std::size_t>(n.id)]) continue;
+      bool near = false;
+      for (const RoutedPath& p : rs.paths(n.id)) {
+        for (const Shape& s : expand_path(p, chip.tech)) {
+          if (stats.dirty.intersects(s.rect, s.global_layer,
+                                     kCollisionMargin)) {
+            near = true;
+            break;
+          }
+        }
+        if (near) break;
+      }
+      if (!near) continue;
+      // A net is a collision victim only if its wiring now violates
+      // *against a net this reroute touched*.  The prior result may carry
+      // residual violations between untouched nets (the flow commits
+      // despite violations and cleans up best-effort); rerouting those here
+      // would cascade far beyond the edit.
+      bool violated = false;
+      for (const RoutedPath& p : rs.paths(n.id)) {
+        for (const WireStick& w : p.wires) {
+          const PlacementCheck pc = rs.checker().check_wire(w, n.id,
+                                                            p.wiretype);
+          if (!pc.allowed && touched_blocker(pc)) {
+            violated = true;
+            break;
+          }
+        }
+        for (const ViaStick& v : p.vias) {
+          if (violated) break;
+          const PlacementCheck pc = rs.checker().check_via(v, n.id,
+                                                           p.wiretype);
+          if (!pc.allowed && touched_blocker(pc)) violated = true;
+        }
+        if (violated) break;
+      }
+      if (violated) {
+        rerouted[static_cast<std::size_t>(n.id)] = 1;
+        wave.push_back(n.id);
+      }
+    }
+    report.collision_nets += static_cast<int>(wave.size());
+  }
+
+  const RoutingResult result = rs.result();
+  for (const Net& n : chip.nets) {
+    const auto i = static_cast<std::size_t>(n.id);
+    if (!(result.net_paths[i] == prior.net_paths[i])) {
+      report.changed_nets.push_back(n.id);
+    }
+  }
+  report.rollbacks = stats.rollbacks;
+  report.dirty_bbox = stats.dirty.bbox;
+  report.netlength = result.total_wirelength();
+  report.vias = result.via_count();
+  report.total_seconds = total.seconds();
+  if (out) *out = result;
+
+  // Reuse the flow-level observability tail (metrics snapshot, trace file,
+  // run report) with the ECO numbers mapped onto the flow report shape.
+  FlowReport fr;
+  fr.total_seconds = report.total_seconds;
+  fr.detailed = report.detailed;
+  fr.netlength = report.netlength;
+  fr.vias = report.vias;
+  flow_obs.finish(fr);
+  return report;
+}
+
 FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
                         RoutingResult* out) {
   Timer total;

@@ -64,6 +64,32 @@ struct FlowReport {
   std::vector<Coord> net_lengths;  ///< per net, for Table II
 };
 
+/// Result of an incremental (ECO) reroute: how much was touched and how the
+/// routing differs from the prior result.
+struct EcoReport {
+  double total_seconds = 0;
+  int nets_requested = 0;
+  int nets_rerouted = 0;   ///< requested nets + dirty-region collision victims
+  int collision_nets = 0;  ///< victims picked up by the dirty-region pass
+  int nets_failed = 0;     ///< rerouted nets left open
+  int rollbacks = 0;       ///< failed attempts undone by transaction rollback
+  Rect dirty_bbox;         ///< hull of everything the reroute touched
+  std::vector<int> changed_nets;  ///< delta vs prior: nets whose paths differ
+  DetailedStats detailed;
+  Coord netlength = 0;     ///< of the full result, for prior-vs-new diffing
+  std::int64_t vias = 0;
+};
+
+/// Incremental (ECO-style) entry point: load `prior` into a fresh routing
+/// space, rip only `net_ids`, reroute them transactionally (failed attempts
+/// roll back to the prior wiring), then sweep the transactions' dirty
+/// regions for collision victims and reroute those too.  Every net outside
+/// the touched set keeps its prior wiring bit-identically; with empty
+/// `net_ids` the result *is* `prior`.  Deterministic at any thread count.
+EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
+                       const std::vector<int>& net_ids,
+                       const FlowParams& params, RoutingResult* out = nullptr);
+
 /// Auto tile count for a chip (≈ 50 tracks of the bottom layer per tile).
 std::pair<int, int> auto_tiles(const Chip& chip);
 

@@ -1,7 +1,9 @@
 #include "src/router/drc_cleanup.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "src/detailed/transaction.hpp"
 #include "src/util/timer.hpp"
 
 namespace bonn {
@@ -40,10 +42,14 @@ int DrcCleanup::extend_short_segments() {
   const Chip& chip = rs.chip();
   int extended = 0;
   for (const Net& n : chip.nets) {
-    // Work on a copy of the path list; we mutate via remove/commit.
-    const std::size_t count = rs.paths(n.id).size();
-    for (std::size_t pi = 0; pi < count; ++pi) {
-      if (pi >= rs.paths(n.id).size()) break;
+    // Iterate over the stable ids of the paths recorded *now*: replacing a
+    // path (remove + commit) shifts positions but never invalidates the
+    // remaining ids.
+    const std::vector<std::uint64_t> ids = rs.path_ids(n.id);
+    for (std::uint64_t id : ids) {
+      const auto pi_opt = rs.recorded_index(n.id, id);
+      if (!pi_opt) continue;
+      const std::size_t pi = *pi_opt;
       RoutedPath p = rs.paths(n.id)[pi];
       bool changed = false;
       for (WireStick& w : p.wires) {
@@ -66,10 +72,8 @@ int DrcCleanup::extend_short_segments() {
         }
       }
       if (changed) {
-        rs.remove_recorded(n.id, pi);
-        rs.commit_path(p);
-        // The changed path moved to the end of the list; adjust indices by
-        // simply continuing (count stays an upper bound).
+        rs.remove_recorded_by_id(n.id, id);
+        rs.commit_path(p);  // re-recorded at the end under a fresh id
       }
     }
   }
@@ -100,8 +104,13 @@ CleanupStats DrcCleanup::run(const CleanupParams& params) {
                          /*rip_depth=*/1);
     } else {
       for (int net : offenders) {
+        // Transactional rip + reroute: a failed reroute rolls back to the
+        // old wiring (violating, but connected) instead of leaving an open.
+        RoutingTransaction txn(router_->space());
         router_->rip_net_tracked(net);
-        router_->route_net(net, rp, nullptr, /*rip_depth=*/1);
+        if (router_->route_net(net, rp, nullptr, /*rip_depth=*/1)) {
+          txn.commit();
+        }  // else: destructor rolls back
       }
     }
     stats.nets_rerouted += static_cast<int>(offenders.size());

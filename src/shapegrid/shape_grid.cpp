@@ -106,6 +106,48 @@ void ShapeGrid::apply(const Shape& s, RipupLevel ripup, bool inserting) {
   }
 }
 
+std::vector<ShapeGrid::RowImage> ShapeGrid::capture(
+    std::span<const Shape> shapes) const {
+  std::vector<RowImage> out;
+  for (const Shape& s : shapes) {
+    BONN_CHECK(s.global_layer >= 0 &&
+               s.global_layer < static_cast<int>(layers_.size()));
+    const LayerGrid& g = layers_[static_cast<std::size_t>(s.global_layer)];
+    const bool horiz = g.pref == Dir::kHorizontal;
+    const Interval along = horiz ? s.rect.x_iv() : s.rect.y_iv();
+    const Interval cross = horiz ? s.rect.y_iv() : s.rect.x_iv();
+    const auto [rlo, rhi] =
+        cell_span(cross.lo, cross.hi, g.origin_cross, g.cell, g.num_rows);
+    const auto [clo, chi] =
+        cell_span(along.lo, along.hi, g.origin_along, g.cell, g.cells_per_row);
+    for (Coord r = rlo; r <= rhi; ++r) {
+      const auto& row = g.rows[static_cast<std::size_t>(r)];
+      auto lk = row_read(s.global_layer, r);
+      RowImage img;
+      img.layer = s.global_layer;
+      img.row = static_cast<int>(r);
+      row.for_each(clo, chi + 1, [&](Coord plo, Coord phi, const CellEntry& e) {
+        img.pieces.push_back({plo, phi, e});
+      });
+      out.push_back(std::move(img));
+    }
+  }
+  return out;
+}
+
+void ShapeGrid::restore(std::span<const RowImage> images) {
+  // Within one capture() all images reflect the same instant, so the order
+  // of application does not matter; duplicates (overlapping footprints) are
+  // idempotent.  assign() re-establishes the coalescing invariant, so the
+  // restored rows are structurally identical to the captured ones.
+  for (const RowImage& img : images) {
+    LayerGrid& g = layers_[static_cast<std::size_t>(img.layer)];
+    auto& row = g.rows[static_cast<std::size_t>(img.row)];
+    auto lk = row_write(img.layer, img.row);
+    for (const RowImage::Piece& p : img.pieces) row.assign(p.lo, p.hi, p.v);
+  }
+}
+
 void ShapeGrid::insert(const Shape& s, RipupLevel ripup) {
   static obs::Counter& c = obs::counter("shapegrid.inserts");
   c.add();

@@ -45,8 +45,39 @@ struct GridShape {
 };
 
 class ShapeGrid {
+ private:
+  struct CellEntry {
+    int config = CellConfigTable::kEmpty;
+    int net = -1;
+    RipupLevel ripup = 255;
+    friend bool operator==(const CellEntry&, const CellEntry&) = default;
+  };
+
  public:
   ShapeGrid(const Tech& tech, const Rect& die);
+
+  /// Byte-exact image of one row segment, for journaled rollback.  insert()
+  /// followed by remove() of the same shape is *not* an identity on the row
+  /// data: mixed-ownership cells keep their conservative net/ripup markings,
+  /// and interval coalescing depends on interned config numbers.  Capturing
+  /// the touched segments before a mutation and restoring them afterwards is
+  /// exact.  (The config table itself is an append-only intern cache, so a
+  /// restore only rewinds which configs cells reference, never the table.)
+  struct RowImage {
+    int layer = 0;
+    int row = 0;
+    struct Piece {
+      Coord lo, hi;  ///< half-open cell-index range
+      CellEntry v;
+    };
+    std::vector<Piece> pieces;  ///< contiguous cover of the captured span
+  };
+
+  /// Capture the row segments the given shapes' footprints touch.  Call
+  /// *before* mutating; all images reflect the same instant.
+  std::vector<RowImage> capture(std::span<const Shape> shapes) const;
+  /// Rewind previously captured segments to their captured state.
+  void restore(std::span<const RowImage> images);
 
   /// Insert a shape.  `ripup` classifies it for rip-up (§3.3).
   void insert(const Shape& s, RipupLevel ripup);
@@ -83,12 +114,6 @@ class ShapeGrid {
 
  private:
   static constexpr std::size_t kLockShards = 64;
-  struct CellEntry {
-    int config = CellConfigTable::kEmpty;
-    int net = -1;
-    RipupLevel ripup = 255;
-    friend bool operator==(const CellEntry&, const CellEntry&) = default;
-  };
 
   struct LayerGrid {
     Dir pref = Dir::kHorizontal;   ///< rows run along this direction

@@ -18,6 +18,8 @@ struct WireStick {
   Point a, b;
   int layer = 0;  ///< wiring layer index
 
+  friend bool operator==(const WireStick&, const WireStick&) = default;
+
   bool horizontal() const { return a.y == b.y; }
   Coord length() const { return l1_dist(a, b); }
   /// Normalize so that a <= b lexicographically.
@@ -30,6 +32,8 @@ struct WireStick {
 struct ViaStick {
   Point at;
   int below = 0;  ///< lower wiring layer; the via sits on via layer `below`
+
+  friend bool operator==(const ViaStick&, const ViaStick&) = default;
 };
 
 /// A routed connection: a set of wire sticks and vias with one wire type.
@@ -40,6 +44,8 @@ struct RoutedPath {
   int wiretype = 0;
   std::vector<WireStick> wires;
   std::vector<ViaStick> vias;
+
+  friend bool operator==(const RoutedPath&, const RoutedPath&) = default;
 
   bool empty() const { return wires.empty() && vias.empty(); }
 

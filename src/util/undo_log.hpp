@@ -1,0 +1,45 @@
+// A deferred-undo journal for arbitrary client state.
+//
+// Register a compensating action per mutation while working; rollback() runs
+// the actions in reverse order, commit() discards them.  Destroying an open
+// log rolls back, so the default is restore-on-failure — the shape every
+// hand-rolled "apply(-1) ... apply(+1)" pair in the code base had before.
+// RoutingTransaction (src/detailed/transaction.hpp) is the typed, batched
+// version of the same idea for the routing space; UndoLog serves lighter
+// consumers such as the global rounding rip-up loop.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace bonn {
+
+class UndoLog {
+ public:
+  UndoLog() = default;
+  ~UndoLog() { rollback(); }
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  /// Register the action compensating the mutation about to be made.
+  void defer(std::function<void()> fn) { undo_.push_back(std::move(fn)); }
+
+  /// Keep the mutations: discard all compensating actions.
+  void commit() { undo_.clear(); }
+
+  /// Undo all mutations by running the compensating actions in reverse.
+  void rollback() {
+    while (!undo_.empty()) {
+      undo_.back()();
+      undo_.pop_back();
+    }
+  }
+
+  std::size_t size() const { return undo_.size(); }
+
+ private:
+  std::vector<std::function<void()>> undo_;
+};
+
+}  // namespace bonn

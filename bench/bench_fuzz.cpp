@@ -1,0 +1,82 @@
+// Cost of the correctness harness (DESIGN.md §4d): fuzz-op throughput at
+// the differential-check cadences the campaigns use, and the price of one
+// RoutingSpace::check_invariants audit — the number that decides whether
+// BONN_AUDIT is cheap enough to leave on in a debugging session.
+#include <benchmark/benchmark.h>
+
+#include "src/db/instance_gen.hpp"
+#include "src/detailed/routing_space.hpp"
+#include "src/fuzz/fuzzer.hpp"
+
+namespace bonn {
+namespace {
+
+/// Ops/s of a short campaign; the check cadence is the knob that matters
+/// (every op / every 8th op / no per-op differential checks).
+void BM_FuzzCampaign(benchmark::State& state) {
+  const int check_every = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    fuzz::FuzzParams p;
+    p.seed = seed++;
+    p.steps = 64;
+    p.check_every = check_every;
+    p.with_eco = false;  // ECO dominates everything else; bench it apart
+    p.drc_checks = false;
+    const fuzz::FuzzResult r = fuzz::run_fuzz(p);
+    if (!r.ok()) state.SkipWithError(r.failure->message.c_str());
+    ops += r.ops_executed;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_FuzzCampaign)->Arg(1)->Arg(8)->Arg(1 << 30)
+    ->Unit(benchmark::kMillisecond);
+
+/// Same, with the ECO op (reroute_nets + load_result) in the mix.
+void BM_FuzzCampaignWithEco(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    fuzz::FuzzParams p;
+    p.seed = seed++;
+    p.steps = 64;
+    p.check_every = 8;
+    p.drc_checks = false;
+    const fuzz::FuzzResult r = fuzz::run_fuzz(p);
+    if (!r.ok()) state.SkipWithError(r.failure->message.c_str());
+    ops += r.ops_executed;
+  }
+  state.SetItemsProcessed(ops);
+}
+BENCHMARK(BM_FuzzCampaignWithEco)->Unit(benchmark::kMillisecond);
+
+/// One full check_invariants (fast-grid rebuild + compare) on a space with
+/// live wiring — the per-transaction-boundary cost under BONN_AUDIT=1.
+void BM_CheckInvariants(benchmark::State& state) {
+  const Chip chip = make_tiny_chip(4);
+  RoutingSpace rs(chip);
+  for (int net = 0; net < chip.num_nets(); ++net) {
+    RoutedPath p;
+    p.net = net;
+    WireStick w;
+    w.a = {200, 600 + 400 * net};
+    w.b = {3400, 600 + 400 * net};
+    w.layer = 0;
+    w.normalize();
+    p.wires.push_back(w);
+    rs.commit_path(p);
+  }
+  std::string why;
+  for (auto _ : state) {
+    const bool ok = rs.check_invariants(&why);
+    if (!ok) state.SkipWithError(why.c_str());
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_CheckInvariants)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bonn
+
+BENCHMARK_MAIN();

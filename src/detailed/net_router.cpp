@@ -178,12 +178,20 @@ bool NetRouter::route_net(int net, const NetRouteParams& params,
 
 bool NetRouter::connect_components(int net, const NetRouteParams& params,
                                    DetailedStats* stats, int rip_depth,
-                                   RipupLevel allowed_ripup) {
+                                   RipupLevel allowed_ripup, bool entry) {
   const Chip& chip = rs_->chip();
   const Net& n = chip.nets[static_cast<std::size_t>(net)];
   const TrackGraph& tg = rs_->tg();
 
   DetailedShared& sh = *shared_;
+
+  // Violating commits are a last resort reserved for the net that started
+  // the rip-up sequence.  A victim rerouted recursively must land cleanly:
+  // letting the whole cascade commit despite violations turns one blocked
+  // net into dozens of diff-net violations that cleanup then has to unpick
+  // one reroute at a time.
+  const bool commit_despite_violations =
+      params.commit_despite_violations && entry;
 
   // A blocker may be ripped only if it is a real net and — under the §5.1
   // window discipline — inside this window's rip mask.
@@ -442,21 +450,29 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
       commit_access_pins.clear();
       blockers.clear();
       {
-        // Temporarily remove the components' shapes (§4.4).
-        std::vector<Shape> reserved;
+        // Temporarily remove the components' shapes (§4.4).  Pins and the
+        // net's own wiring were inserted at different ripup levels, and a
+        // Reservation must restore shapes at exactly the level they were
+        // inserted at (re-inserting wiring at kFixed would permanently mark
+        // the net's own shapes unrippable) — so hold them separately.
+        std::vector<Shape> reserved_pins;
         for (int pid : n.pins) {
           for (const RectL& rl :
                chip.pins[static_cast<std::size_t>(pid)].shapes) {
-            reserved.push_back(Shape{rl.r, global_of_wiring(rl.layer),
-                                     ShapeKind::kPin, 0, net});
+            reserved_pins.push_back(Shape{rl.r, global_of_wiring(rl.layer),
+                                          ShapeKind::kPin, 0, net});
           }
         }
+        std::vector<Shape> reserved_paths;
         for (const RoutedPath& p : rs_->paths(net)) {
           for (const Shape& s : expand_path(p, chip.tech)) {
-            reserved.push_back(s);
+            reserved_paths.push_back(s);
           }
         }
-        RoutingSpace::Reservation hold(*rs_, std::move(reserved), kFixed);
+        RoutingSpace::Reservation hold_pins(*rs_, std::move(reserved_pins),
+                                            kFixed);
+        RoutingSpace::Reservation hold_paths(*rs_, std::move(reserved_paths),
+                                             rs_->net_level(net));
 
         SearchParams sp = params.search;
         sp.net = net;
@@ -569,7 +585,7 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
       const bool cannot_rip = allowed_ripup == 0 ||
                               rip_depth >= params.max_rip_depth ||
                               has_fixed_blocker;
-      if (cannot_rip && !params.commit_despite_violations) {
+      if (cannot_rip && !commit_despite_violations) {
         BONN_LOGF(obs::LogLevel::kDebug,
                   "net %d: blocked and cannot rip (%zu blockers, depth %d)",
                   net, blockers.size(), rip_depth);
@@ -609,9 +625,16 @@ bool NetRouter::connect_components(int net, const NetRouteParams& params,
 
   postprocess_net(net);
 
-  // Reroute ripped victims (bounded rip-up sequence, §4.4).
+  // Reroute ripped victims (bounded rip-up sequence, §4.4).  The cascade is
+  // all-or-nothing: a victim that cannot be rerouted cleanly fails the whole
+  // attempt, and the enclosing transaction restores both the victim's old
+  // wiring and this net's progress.  Ripping a routed net and leaving it
+  // open would trade one blocked net for several opens.
   for (int b : ripped) {
-    connect_components(b, params, stats, rip_depth + 1, allowed_ripup);
+    if (!connect_components(b, params, stats, rip_depth + 1, allowed_ripup,
+                            /*entry=*/false)) {
+      return false;
+    }
   }
   return true;
 }

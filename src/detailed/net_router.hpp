@@ -156,9 +156,12 @@ class NetRouter {
     int access_idx = -1;   ///< index into the pin's catalogue, -1 = path vertex
   };
 
+  /// `entry` is true for the net route_net was called on; rip-up victims
+  /// rerouted recursively get entry = false and must land cleanly (they may
+  /// never commit despite violations).
   bool connect_components(int net, const NetRouteParams& params,
                           DetailedStats* stats, int rip_depth,
-                          RipupLevel allowed_ripup);
+                          RipupLevel allowed_ripup, bool entry = true);
 
   RoutingSpace* rs_;
   PinAccess access_;

@@ -71,7 +71,7 @@ struct Engine {
   std::vector<Label> labels;
   /// Dominance sets per (track_id, run_idx).
   std::unordered_map<std::int64_t, std::vector<std::pair<int, Coord>>> delta;
-  std::unordered_map<std::int64_t, int> target_set;  ///< vertex key -> index
+  std::unordered_map<std::uint64_t, int> target_set;  ///< vertex_key -> index
   using QE = std::pair<Coord, int>;
   std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
   /// π breakpoint coordinates per axis (pref-direction projections).
@@ -79,11 +79,6 @@ struct Engine {
 
   static std::int64_t tkey(int layer, int track) {
     return static_cast<std::int64_t>(layer) * (1LL << 32) + track;
-  }
-  static std::int64_t vkey(const TrackVertex& v) {
-    return (static_cast<std::int64_t>(v.layer) * (1LL << 24) + v.track) *
-               (1LL << 24) +
-           v.station;
   }
 
   const std::vector<Coord>& stations(int layer) const {
@@ -488,7 +483,7 @@ struct Engine {
       const Point p = rs->tg().vertex_pt(t);
       bp[0].push_back(p.x);
       bp[1].push_back(p.y);
-      target_set.emplace(vkey(t),
+      target_set.emplace(vertex_key(t),
                          static_cast<int>(&t - targets.data()));
     }
     for (auto& v : bp) {
@@ -555,7 +550,7 @@ struct Engine {
         tracks[static_cast<std::size_t>(lbc.track_id)]
             .via_done[static_cast<std::size_t>(s)] = 1;
         ++local_stats.station_expansions;
-        const auto t_it = target_set.find(vkey({layer, track, s}));
+        const auto t_it = target_set.find(vertex_key({layer, track, s}));
         if (t_it != target_set.end()) {
           FoundPath fp;
           fp.cost = g;

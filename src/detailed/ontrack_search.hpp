@@ -22,8 +22,26 @@
 
 #include "src/detailed/future_cost.hpp"
 #include "src/detailed/routing_space.hpp"
+#include "src/util/assert.hpp"
 
 namespace bonn {
+
+/// Injective 64-bit key of a track vertex, for hash-map lookups.  Each field
+/// is biased by 2^20 and packed into 21 bits, so the full int range a vertex
+/// can legitimately carry — including the -1 "invalid" sentinels — maps to a
+/// distinct key.  (A previous packing multiplied by 2^24 without masking the
+/// track to 24 bits, so (layer, track, station) = (0, 1, 0) and
+/// (0, 0, 2^24) collided, and negative sentinels aliased neighbours.)
+inline std::uint64_t vertex_key(const TrackVertex& v) {
+  constexpr std::int64_t kBias = 1LL << 20;
+  BONN_ASSERT(v.layer >= -kBias && v.layer < kBias);
+  BONN_ASSERT(v.track >= -kBias && v.track < kBias);
+  BONN_ASSERT(v.station >= -kBias && v.station < kBias);
+  const auto part = [](int x) {
+    return static_cast<std::uint64_t>(x + kBias) & ((1ULL << 21) - 1);
+  };
+  return (part(v.layer) << 42) | (part(v.track) << 21) | part(v.station);
+}
 
 struct SearchParams {
   int net = -1;  ///< net being routed (same-net exemption on verify calls)

@@ -1,8 +1,15 @@
 #include "src/detailed/routing_space.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "src/detailed/transaction.hpp"
+#include "src/fastgrid/oracle.hpp"
+#include "src/geom/rect_union.hpp"
 #include "src/util/assert.hpp"
 
 namespace bonn {
@@ -148,11 +155,126 @@ void RoutingSpace::load_result(const RoutingResult& prior) {
   fast_->rebuild();
 }
 
+// ---------------------------------------------------------------------------
+// Invariant auditing (correctness harness)
+
+namespace {
+/// -1 = follow the BONN_AUDIT environment variable; 0/1 = test override.
+std::atomic<int> g_audit_override{-1};
+}  // namespace
+
+bool RoutingSpace::audit_enabled() {
+  const int o = g_audit_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool env = [] {
+    const char* e = std::getenv("BONN_AUDIT");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+  }();
+  return env;
+}
+
+void RoutingSpace::set_audit_for_testing(int on) {
+  g_audit_override.store(on, std::memory_order_relaxed);
+}
+
+bool RoutingSpace::check_invariants(std::string* why,
+                                    const Rect* region) const {
+  bool ok = true;
+  auto fail = [&](const std::string& msg) {
+    ok = false;
+    if (why != nullptr) *why += msg + "\n";
+  };
+
+  // (a) Recorded paths and stable ids: parallel vectors, strictly
+  // increasing ids below the net's next-id counter.
+  for (std::size_t n = 0; n < net_paths_.size(); ++n) {
+    const auto& paths = net_paths_[n];
+    const auto& ids = net_path_ids_[n];
+    if (paths.size() != ids.size()) {
+      fail("net " + std::to_string(n) + ": " + std::to_string(paths.size()) +
+           " paths but " + std::to_string(ids.size()) + " ids");
+      continue;
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0 && ids[i] <= ids[i - 1])
+        fail("net " + std::to_string(n) + ": ids not strictly increasing");
+      if (ids[i] >= next_path_id_[n])
+        fail("net " + std::to_string(n) + ": id " + std::to_string(ids[i]) +
+             " >= next id " + std::to_string(next_path_id_[n]));
+    }
+  }
+
+  // Every recorded path's shapes must be present in the shape grid: the
+  // matching pieces the grid reports inside the shape's rect must cover it.
+  // (The fuzzer's shadow model additionally verifies exact multiset
+  // equality of *all* occupancy, which needs knowledge of raw insertions
+  // and reservations this class does not track.)
+  const Rect die = grid_->die();
+  std::vector<Shape> reserved;
+  {
+    std::lock_guard<std::mutex> lk(reserved_mu_);
+    reserved = reserved_shapes_;
+  }
+  for (std::size_t n = 0; ok && n < net_paths_.size(); ++n) {
+    for (const RoutedPath& p : net_paths_[n]) {
+      for (const Shape& s : expand_path(p, chip_->tech)) {
+        if (region != nullptr && !s.rect.intersects(region->expanded(200)))
+          continue;
+        // A live Reservation (§4.4) legitimately holds this shape out of the
+        // grid while the path stays recorded.
+        if (std::find(reserved.begin(), reserved.end(), s) != reserved.end())
+          continue;
+        const Rect expect = s.rect.intersection(die);
+        if (expect.empty() || expect.area() == 0) continue;
+        std::vector<Rect> covered;
+        grid_->query(s.global_layer, expect, [&](const GridShape& gs) {
+          if (gs.net == s.net && gs.kind == s.kind && gs.cls == s.cls)
+            covered.push_back(gs.rect.intersection(expect));
+        });
+        if (union_area(covered) != expect.area()) {
+          fail("net " + std::to_string(n) + ": recorded path shape on layer " +
+               std::to_string(s.global_layer) +
+               " not fully present in shape grid");
+          break;
+        }
+      }
+      if (!ok) break;
+    }
+  }
+
+  // (b) Canonical interval-map storage everywhere.
+  if (!grid_->check_canonical(why)) ok = false;
+  if (!fast_->check_canonical(why)) ok = false;
+
+  // (c) Fast-grid words vs the naive oracle.
+  std::string fast_why;
+  const std::size_t diffs = fastgrid_diff_vs_naive(
+      *fast_, chip_->tech, *tg_, *checker_, why != nullptr ? &fast_why : nullptr,
+      region);
+  if (diffs != 0) {
+    fail("fast grid diverges from naive recomputation at " +
+         std::to_string(diffs) + " station(s):");
+    if (why != nullptr) *why += fast_why;
+  }
+  return ok;
+}
+
+void RoutingSpace::audit(const char* where, const Rect* region) const {
+  std::string why;
+  if (!check_invariants(&why, region)) {
+    throw std::logic_error(std::string("routing-space audit failed at ") +
+                           where + ":\n" + why);
+  }
+}
+
 RoutingSpace::Reservation::Reservation(RoutingSpace& rs,
                                        std::vector<Shape> shapes,
                                        RipupLevel level)
     : rs_(&rs), shapes_(std::move(shapes)), level_(level) {
   rs_->remove_shapes(shapes_, level_);
+  std::lock_guard<std::mutex> lk(rs_->reserved_mu_);
+  rs_->reserved_shapes_.insert(rs_->reserved_shapes_.end(), shapes_.begin(),
+                               shapes_.end());
 }
 
 RoutingSpace::Reservation::~Reservation() { release(); }
@@ -171,8 +293,25 @@ RoutingSpace::Reservation& RoutingSpace::Reservation::operator=(
 void RoutingSpace::Reservation::release() {
   if (!rs_) return;
   rs_->insert_shapes(shapes_, level_);
+  {
+    std::lock_guard<std::mutex> lk(rs_->reserved_mu_);
+    auto& held = rs_->reserved_shapes_;
+    for (const Shape& s : shapes_) {
+      for (std::size_t i = 0; i < held.size(); ++i) {
+        if (held[i] == s) {
+          held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
   rs_ = nullptr;
   shapes_.clear();
+}
+
+std::size_t RoutingSpace::reserved_shape_count() const {
+  std::lock_guard<std::mutex> lk(reserved_mu_);
+  return reserved_shapes_.size();
 }
 
 }  // namespace bonn

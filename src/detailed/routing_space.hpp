@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 
 #include "src/db/chip.hpp"
@@ -97,8 +99,12 @@ class RoutingSpace {
 
   /// Temporarily remove shapes (e.g. of the source/target components during
   /// a search, §4.4); returns a token restoring them on destruction.
-  /// Movable, so helpers can build and return reservations; journal-backed,
-  /// so it nests inside any enclosing RoutingTransaction.
+  /// `level` must be the ripup level the shapes were inserted at (kFixed
+  /// for chip pins/blockages, net_level(net) for routed wiring): the shape
+  /// grid stores ripup per shape and removal matches on it, and the restore
+  /// re-inserts at the same level.  Movable, so helpers can build and
+  /// return reservations; journal-backed, so it nests inside any enclosing
+  /// RoutingTransaction.
   class Reservation {
    public:
     Reservation(RoutingSpace& rs, std::vector<Shape> shapes,
@@ -122,6 +128,32 @@ class RoutingSpace {
     RipupLevel level_;
   };
 
+  /// Number of shapes currently held out of the grid by live Reservations.
+  std::size_t reserved_shape_count() const;
+
+  // ---- invariant auditing (correctness harness) -----------------------
+  /// Cross-structure consistency audit: (a) recorded paths / stable ids are
+  /// structurally sound and every recorded path's shapes are present in the
+  /// shape grid, (b) shape-grid rows and fast-grid tracks are stored
+  /// canonically, (c) fast-grid words match a naive per-track recomputation
+  /// from the shape grid (src/fastgrid/oracle.hpp).  With `region` given,
+  /// the geometric checks restrict to paths/tracks near it — this is what
+  /// transaction boundaries use (dirty-region bounded).  Returns true when
+  /// consistent; appends a description of the first divergences to *why.
+  bool check_invariants(std::string* why = nullptr,
+                        const Rect* region = nullptr) const;
+
+  /// Auditing at transaction boundaries is armed by the BONN_AUDIT
+  /// environment variable (any value but "0"), or programmatically for
+  /// tests.  When armed, RoutingTransaction::commit() and rollback() call
+  /// audit() on their dirty region.
+  static bool audit_enabled();
+  /// Override the env: 1 = on, 0 = off, -1 = back to the environment.
+  static void set_audit_for_testing(int on);
+  /// Runs check_invariants and throws std::logic_error with the divergence
+  /// description on failure; `where` names the call site in the message.
+  void audit(const char* where, const Rect* region = nullptr) const;
+
   /// Raw shape-level mutation (kept consistent with the fast grid).
   void insert_shape(const Shape& s, RipupLevel level);
   void remove_shape(const Shape& s, RipupLevel level);
@@ -143,6 +175,14 @@ class RoutingSpace {
   // window-parallel routing).
   std::vector<std::vector<std::uint64_t>> net_path_ids_;
   std::vector<std::uint64_t> next_path_id_;
+  // Shapes temporarily held out of the grid by live Reservations (§4.4).
+  // The audit consults this so a recorded path whose component shapes are
+  // reserved during a search does not read as "missing from the grid".
+  // Guarded by its own mutex: reservations are per-search, not per-edge, so
+  // the lock is far off every hot path, but concurrent windows (§5.1) do
+  // create and release them in parallel.
+  mutable std::mutex reserved_mu_;
+  std::vector<Shape> reserved_shapes_;
 };
 
 }  // namespace bonn

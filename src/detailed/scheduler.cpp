@@ -95,10 +95,29 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
                                     const NetRouteParams& params,
                                     DetailedStats* stats, bool rip_first,
                                     int rip_depth) {
-  RoutingTransaction txn(*rs_);
-  if (rip_first) r->rip_net_tracked(net);
-  const bool ok = r->route_net(net, params, stats, rip_depth);
-  if (ok) {
+  // A rip-up cascade is all-or-nothing (net_router.cpp): if a victim cannot
+  // be rerouted cleanly, route_net fails and the transaction rolls back.
+  // In the violating-commit round that alone would strand the net, so retry
+  // once with rip-up disabled — the net then routes around its blockers and
+  // commits its own violations for cleanup to fix, instead of trashing its
+  // victims' wiring.
+  const bool degenerate_retry =
+      params.commit_despite_violations && params.search.allowed_ripup != 0;
+  const int passes = degenerate_retry ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    NetRouteParams p = params;
+    if (pass == 1) p.search.allowed_ripup = 0;
+    RoutingTransaction txn(*rs_);
+    if (rip_first) r->rip_net_tracked(net);
+    const bool ok = r->route_net(net, p, stats, rip_depth);
+    if (!ok) {
+      // Restore-on-failure: the rip (if any) and all partial progress are
+      // undone, so a failed cleanup/ECO reroute never converts a routed net
+      // into an open.
+      txn.rollback();
+      if (stats) ++stats->rollbacks;
+      continue;
+    }
     // A net this transaction ripped may have been left open (or rerouted
     // differently) — recheck it next round.  The routed net itself is
     // settled until some later transaction touches it.
@@ -113,14 +132,9 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
                                  txn.touched_nets().end());
     }
     txn.commit();
-  } else {
-    // Restore-on-failure: the rip (if any) and all partial progress are
-    // undone, so a failed cleanup/ECO reroute never converts a routed net
-    // into an open.
-    txn.rollback();
-    if (stats) ++stats->rollbacks;
+    return true;
   }
-  return ok;
+  return false;
 }
 
 int DetailedScheduler::route_nets(const std::vector<int>& nets,

@@ -95,6 +95,10 @@ void RoutingTransaction::commit() {
     journal_.clear();
     hooks_.clear();
   }
+  // BONN_AUDIT: verify cross-structure consistency of everything this
+  // transaction touched (correctness harness; see RoutingSpace::audit).
+  if (RoutingSpace::audit_enabled() && !dirty_.empty())
+    rs_->audit("txn.commit", &dirty_.bbox);
 }
 
 void RoutingTransaction::rollback() {
@@ -157,6 +161,12 @@ void RoutingTransaction::rollback() {
   // Client-state undo runs after the routing space is consistent again.
   for (auto it = hooks_.rbegin(); it != hooks_.rend(); ++it) (*it)();
   hooks_.clear();
+  // BONN_AUDIT: a rollback must leave every structure exactly consistent
+  // again.  (Throwing from an explicit rollback() is fine; an implicit
+  // rollback in the destructor would terminate — audit failures are fatal
+  // by design.)
+  if (RoutingSpace::audit_enabled() && !dirty_.empty())
+    rs_->audit("txn.rollback", &dirty_.bbox);
 }
 
 // ---------------------------------------------------------------------------

@@ -110,8 +110,8 @@ class RoutingTransaction {
     std::vector<std::uint64_t> path_ids;  ///< kRipNet
     /// Before-images of the touched shape-grid row segments.  Rollback
     /// restores these verbatim instead of replaying inverse insert/remove
-    /// calls: the grid's remove is deliberately conservative on mixed cells
-    /// (net/ripup markings stick), so only an image restore is bit-exact.
+    /// calls: an image restore is bit-exact by construction and stays so
+    /// however the grid's cell bookkeeping evolves.
     std::vector<ShapeGrid::RowImage> images;
   };
 

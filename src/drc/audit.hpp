@@ -29,6 +29,10 @@ struct DrcReport {
   std::int64_t errors() const {
     return diffnet_violations + same_net_total() + opens;
   }
+
+  /// Counterwise equality — the fuzz harness compares audits across
+  /// transaction rollbacks (rollback must be DRC-neutral).
+  friend bool operator==(const DrcReport&, const DrcReport&) = default;
 };
 
 /// Audit a routing result against the chip.  `result` may be partial; nets

@@ -12,15 +12,21 @@ namespace {
 
 constexpr std::uint64_t kFieldMask = 0x7;
 
+// Test-only fault switch, see FastGrid::testing_inject_staleness_bug.
+std::atomic<bool> g_inject_staleness{false};
+
 inline void set_wiring_field(std::uint64_t& word, int wt, int f,
                              std::uint8_t val) {
-  const int off = wt * 13 + f * 3;
-  word = (word & ~(kFieldMask << off)) |
-         (static_cast<std::uint64_t>(val & 0x7) << off);
+  // Internal callers derive val from min(ripup, 6) or kFree, so anything
+  // above the 3-bit range is a logic error; with_wiring_field saturates.
+  BONN_ASSERT(val <= FastGrid::kFree);
+  word = FastGrid::with_wiring_field(word, wt, FastGrid::Field(f), val);
 }
 
 inline void min_wiring_field(std::uint64_t& word, int wt, int f,
                              std::uint8_t val) {
+  if (g_inject_staleness.load(std::memory_order_relaxed) && val >= kStandard)
+    return;
   const std::uint8_t cur = FastGrid::wiring_field(word, wt, FastGrid::Field(f));
   if (val < cur) set_wiring_field(word, wt, f, val);
 }
@@ -33,18 +39,37 @@ inline void set_gap(std::uint64_t& word, int wt, bool v) {
 
 inline void set_via_field(std::uint64_t& word, int wt, int f,
                           std::uint8_t val) {
-  const int off = wt * 6 + f * 3;
-  word = (word & ~(kFieldMask << off)) |
-         (static_cast<std::uint64_t>(val & 0x7) << off);
+  BONN_ASSERT(val <= FastGrid::kFree);
+  word = FastGrid::with_via_field(word, wt, FastGrid::ViaField(f), val);
 }
 
 inline void min_via_field(std::uint64_t& word, int wt, int f,
                           std::uint8_t val) {
+  if (g_inject_staleness.load(std::memory_order_relaxed) && val >= kStandard)
+    return;
   const std::uint8_t cur = FastGrid::via_field(word, wt, FastGrid::ViaField(f));
   if (val < cur) set_via_field(word, wt, f, val);
 }
 
 }  // namespace
+
+std::uint64_t FastGrid::with_wiring_field(std::uint64_t word, int wt, Field f,
+                                          std::uint8_t val) {
+  const int off = wt * 13 + int(f) * 3;
+  const auto v = static_cast<std::uint64_t>(std::min(val, kFree));
+  return (word & ~(kFieldMask << off)) | (v << off);
+}
+
+std::uint64_t FastGrid::with_via_field(std::uint64_t word, int wt, ViaField f,
+                                       std::uint8_t val) {
+  const int off = wt * 6 + int(f) * 3;
+  const auto v = static_cast<std::uint64_t>(std::min(val, kFree));
+  return (word & ~(kFieldMask << off)) | (v << off);
+}
+
+void FastGrid::testing_inject_staleness_bug(bool on) {
+  g_inject_staleness.store(on, std::memory_order_relaxed);
+}
 
 FastGrid::FastGrid(const Tech& tech, const TrackGraph& tg,
                    const DrcChecker& checker, int max_cached)
@@ -119,13 +144,24 @@ void FastGrid::recompute_wiring(int w, const Rect& region) {
       const Coord reach_along = std::max(-m_along.lo, m_along.hi) + S;
       Interval bound = reg_along.expanded(reach_along);
       auto [slo, shi] = tg_->station_range(w, bound);
-      if (slo > shi) continue;
-      // Widen by two stations so boundary gap bits are recomputed exactly
-      // like a full rebuild would (incremental == rebuild invariant).
+      // The range may be empty (shi < slo) when the reach window lies
+      // strictly between two stations or beyond the track ends; shapes
+      // there still decide the gap bits of the surrounding edges, so widen
+      // first and only then test — bailing out on the unwidened range left
+      // those gap bits stale.  Widening by two stations also recomputes
+      // boundary bits exactly like a full rebuild (incremental == rebuild).
       slo = std::max(slo - 2, 0);
       shi = std::min(shi + 2, num_st - 1);
+      if (slo > shi) continue;
       bound = bound.hull({stations[static_cast<std::size_t>(slo)],
                           stations[static_cast<std::size_t>(shi)]});
+      // Classify runs one station past the window's right edge too: a run
+      // strictly between stations shi and shi+1 owns the gap bit *at* shi,
+      // which the reset below clears.
+      const int edge_hi = std::min(shi + 1, num_st - 1);
+      const Interval qbound =
+          bound.hull({stations[static_cast<std::size_t>(edge_hi)],
+                      stations[static_cast<std::size_t>(edge_hi)]});
       const auto [tlo, thi] =
           tg_->track_range(w, reg_cross.expanded(reach_cross));
       for (int ti = tlo; ti <= thi; ++ti) {
@@ -140,7 +176,7 @@ void FastGrid::recompute_wiring(int w, const Rect& region) {
           if (f == kWireF) set_gap(word, k, false);
         });
         const auto runs = checker_->forbidden_runs(
-            g, model, horiz, tracks[static_cast<std::size_t>(ti)], bound,
+            g, model, horiz, tracks[static_cast<std::size_t>(ti)], qbound,
             /*net=*/-3, kind, /*swept=*/f == kWireF);
         for (const ForbiddenRun& run : runs) {
           const std::uint8_t level =
@@ -149,8 +185,15 @@ void FastGrid::recompute_wiring(int w, const Rect& region) {
           if (alo > ahi) {
             // Forbidden run strictly inside an edge: endpoint legality does
             // not imply edge legality — set the gap bit on the left vertex.
-            if (f == kWireF && alo - 1 >= slo && alo <= shi) {
-              map.update(alo - 1, alo, [&](std::uint64_t& word) {
+            // Guards: the left vertex must exist (alo == 0 would underflow
+            // to station -1), lie inside the reset window [slo, shi], and
+            // the flagged edge must exist (alo <= num_st - 1).  Runs the
+            // qbound extension clipped on the left (alo <= slo) belong to
+            // edges outside the window and must not be misclassified here.
+            const int left = alo - 1;
+            if (f == kWireF && left >= slo && left <= shi &&
+                alo <= num_st - 1) {
+              map.update(left, alo, [&](std::uint64_t& word) {
                 set_gap(word, k, true);
               });
             }
@@ -197,11 +240,14 @@ void FastGrid::recompute_via(int v, const Rect& region) {
       const Coord reach_along = std::max(-m_along.lo, m_along.hi) + S;
       Interval bound = reg_along.expanded(reach_along);
       auto [slo, shi] = tg_->station_range(w, bound);
-      if (slo > shi) continue;
       const auto& stations = tg_->stations(w);
       const int num_st = static_cast<int>(stations.size());
+      // Widen before testing for emptiness, exactly like recompute_wiring:
+      // a reach window strictly between two stations must still refresh the
+      // neighbouring stations it clamps to.
       slo = std::max(slo - 2, 0);
       shi = std::min(shi + 2, num_st - 1);
+      if (slo > shi) continue;
       bound = bound.hull({stations[static_cast<std::size_t>(slo)],
                           stations[static_cast<std::size_t>(shi)]});
       const auto [tlo, thi] =
@@ -291,6 +337,28 @@ std::uint8_t FastGrid::via_level(const TrackVertex& u, int wiretype) const {
                                   wiretype, kProjF));
   }
   return lvl;
+}
+
+bool FastGrid::check_canonical(std::string* why) const {
+  auto scan = [&](bool via,
+                  const std::vector<std::vector<IntervalMap<std::uint64_t>>>&
+                      maps) {
+    for (std::size_t l = 0; l < maps.size(); ++l) {
+      for (std::size_t t = 0; t < maps[l].size(); ++t) {
+        auto lk = read_guard(
+            shard(via, static_cast<int>(l), static_cast<int>(t)));
+        if (!maps[l][t].check_coalesced()) {
+          if (why != nullptr)
+            *why += std::string("non-canonical fast-grid map: ") +
+                    (via ? "via layer " : "wiring layer ") + std::to_string(l) +
+                    " track " + std::to_string(t) + "\n";
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  return scan(/*via=*/false, wiring_) && scan(/*via=*/true, via_);
 }
 
 std::size_t FastGrid::breakpoint_count() const {

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <shared_mutex>
 #include <span>
+#include <string>
 
 #include "src/drc/checker.hpp"
 #include "src/geom/interval_map.hpp"
@@ -56,6 +57,16 @@ class FastGrid {
   /// instead of one per shape.  This is what makes the §4.4 temporary
   /// removal/reinsertion of whole components affordable.
   void on_change_all(std::span<const Shape> shapes);
+
+  // ---- word encoding --------------------------------------------------
+  /// Returns `word` with the 3-bit (wt, f) field replaced by `val`,
+  /// saturated at kFree.  Field values live on the 0..7 ripup scale; an
+  /// out-of-range input clamps to kFree instead of wrapping — a wrapped
+  /// value would silently report *more* legal space than exists.
+  static std::uint64_t with_wiring_field(std::uint64_t word, int wt, Field f,
+                                         std::uint8_t val);
+  static std::uint64_t with_via_field(std::uint64_t word, int wt, ViaField f,
+                                      std::uint8_t val);
 
   // ---- word decoding --------------------------------------------------
   static std::uint8_t wiring_field(std::uint64_t word, int wt, Field f) {
@@ -107,6 +118,20 @@ class FastGrid {
 
   /// Interval-count statistic (Fig. 4): stored breakpoints across tracks.
   std::size_t breakpoint_count() const;
+
+  /// Auditor hook: every per-track interval map must be stored canonically
+  /// (coalesced) — see IntervalMap::check_coalesced.  Appends the first
+  /// offending track to *why when given.
+  bool check_canonical(std::string* why = nullptr) const;
+
+  /// Test-only fault injection for the fuzz harness: deliberately drop
+  /// min-field updates for blockers at ripup level >= kStandard, making
+  /// occupied stations read as free — the "reports more legal space"
+  /// staleness class the historical `& 0x7` field masking produced.  The
+  /// fuzzer demo re-introduces the bug, catches the divergence against the
+  /// naive oracle, and shrinks it to a replayable script.  Never enable
+  /// outside tests; affects every FastGrid in the process.
+  static void testing_inject_staleness_bug(bool on);
 
   // ---- statistics (Fig. 4 hit-rate / speedup bench) --------------------
   void record_hit() const { hits_.fetch_add(1, std::memory_order_relaxed); }

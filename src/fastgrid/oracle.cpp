@@ -1,0 +1,274 @@
+#include "src/fastgrid/oracle.hpp"
+
+#include <algorithm>
+
+#include "src/util/assert.hpp"
+
+namespace bonn {
+
+namespace {
+
+// Local re-implementation of the word packing so the oracle does not reuse
+// FastGrid's write path; the packing format itself is the published contract
+// (decoded by FastGrid::wiring_field / gap_bit / via_field).
+constexpr std::uint64_t kFieldMask = 0x7;
+
+void put_wiring(std::uint64_t& word, int wt, int f, std::uint8_t val) {
+  const int off = wt * 13 + f * 3;
+  word = (word & ~(kFieldMask << off)) |
+         (static_cast<std::uint64_t>(val) << off);
+}
+
+void put_gap(std::uint64_t& word, int wt) {
+  word |= std::uint64_t(1) << (wt * 13 + 12);
+}
+
+void put_via(std::uint64_t& word, int wt, int f, std::uint8_t val) {
+  const int off = wt * 6 + f * 3;
+  word = (word & ~(kFieldMask << off)) |
+         (static_cast<std::uint64_t>(val) << off);
+}
+
+/// Mirrors FastGrid::field_model: which rule model a (wiretype, field) pair
+/// checks on wiring layer w, or false when the field does not exist there.
+bool wiring_model_for(const Tech& tech, int w, int wt, int f, WireModel& out,
+                      ShapeKind& kind) {
+  const WireType& t = tech.wt(wt);
+  switch (f) {
+    case FastGrid::kWireF:
+      out = t.pref[static_cast<std::size_t>(w)];
+      kind = ShapeKind::kWire;
+      return true;
+    case FastGrid::kJogF:
+      out = t.nonpref[static_cast<std::size_t>(w)];
+      kind = ShapeKind::kJog;
+      return true;
+    case FastGrid::kViaBotF:
+      if (w >= tech.num_vias()) return false;
+      out = t.vias[static_cast<std::size_t>(w)].bottom;
+      kind = ShapeKind::kViaPad;
+      return true;
+    case FastGrid::kViaTopF:
+      if (w == 0) return false;
+      out = t.vias[static_cast<std::size_t>(w) - 1].top;
+      kind = ShapeKind::kViaPad;
+      return true;
+  }
+  return false;
+}
+
+bool via_model_for(const Tech& tech, int v, int wt, int f, WireModel& out,
+                   ShapeKind& kind) {
+  const WireType& t = tech.wt(wt);
+  if (f == FastGrid::kCutF) {
+    out = t.vias[static_cast<std::size_t>(v)].cut;
+    kind = ShapeKind::kViaCut;
+    return true;
+  }
+  if (v == 0) return false;
+  const ViaModel& below = t.vias[static_cast<std::size_t>(v) - 1];
+  if (!below.has_projection) return false;
+  out = below.projection;
+  kind = ShapeKind::kViaProj;
+  return true;
+}
+
+std::uint8_t run_level(const ForbiddenRun& run) {
+  return static_cast<std::uint8_t>(std::min<int>(run.ripup, 6));
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> naive_wiring_words(const Tech& tech,
+                                              const TrackGraph& tg,
+                                              const DrcChecker& checker,
+                                              int cached, int layer,
+                                              int track) {
+  const auto& stations = tg.stations(layer);
+  const int n = static_cast<int>(stations.size());
+  std::uint64_t free_word = 0;
+  for (int k = 0; k < cached; ++k)
+    for (int f = 0; f < 4; ++f) put_wiring(free_word, k, f, FastGrid::kFree);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n), free_word);
+  if (n == 0) return words;
+
+  const int g = global_of_wiring(layer);
+  const bool horiz = tech.pref(layer) == Dir::kHorizontal;
+  const Coord cross = tg.tracks(layer)[static_cast<std::size_t>(track)];
+  const Interval bound{stations.front(), stations.back()};
+  for (int k = 0; k < cached; ++k) {
+    for (int f = 0; f < 4; ++f) {
+      WireModel model;
+      ShapeKind kind;
+      if (!wiring_model_for(tech, layer, k, f, model, kind)) continue;
+      const auto runs =
+          checker.forbidden_runs(g, model, horiz, cross, bound, /*net=*/-3,
+                                 kind, /*swept=*/f == FastGrid::kWireF);
+      for (const ForbiddenRun& run : runs) {
+        const auto [alo, ahi] = tg.station_range(layer, run.along);
+        if (alo > ahi) {
+          // No station inside the run: it blocks (part of) the edge between
+          // stations alo-1 and alo without showing at either endpoint, so
+          // the left vertex carries the gap ("zigzag edge") bit.  Runs
+          // before the first or after the last station flag no edge.
+          if (f == FastGrid::kWireF && alo >= 1 && alo <= n - 1)
+            put_gap(words[static_cast<std::size_t>(alo - 1)], k);
+          continue;
+        }
+        const std::uint8_t level = run_level(run);
+        for (int s = alo; s <= ahi; ++s) {
+          auto& w = words[static_cast<std::size_t>(s)];
+          if (level < FastGrid::wiring_field(w, k, FastGrid::Field(f)))
+            put_wiring(w, k, f, level);
+        }
+      }
+    }
+  }
+  return words;
+}
+
+std::vector<std::uint64_t> naive_via_words(const Tech& tech,
+                                           const TrackGraph& tg,
+                                           const DrcChecker& checker,
+                                           int cached, int via_layer,
+                                           int track) {
+  const int w = via_layer;  // lattice of the lower wiring layer
+  const auto& stations = tg.stations(w);
+  const int n = static_cast<int>(stations.size());
+  std::uint64_t free_word = 0;
+  for (int k = 0; k < cached; ++k)
+    for (int f = 0; f < 2; ++f) put_via(free_word, k, f, FastGrid::kFree);
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n), free_word);
+  if (n == 0) return words;
+
+  const int g = global_of_via(via_layer);
+  const bool horiz = tech.pref(w) == Dir::kHorizontal;
+  const Coord cross = tg.tracks(w)[static_cast<std::size_t>(track)];
+  const Interval bound{stations.front(), stations.back()};
+  for (int k = 0; k < cached; ++k) {
+    for (int f = 0; f < 2; ++f) {
+      WireModel model;
+      ShapeKind kind;
+      if (!via_model_for(tech, via_layer, k, f, model, kind)) continue;
+      const auto runs = checker.forbidden_runs(g, model, horiz, cross, bound,
+                                               /*net=*/-3, kind,
+                                               /*swept=*/false);
+      for (const ForbiddenRun& run : runs) {
+        const auto [alo, ahi] = tg.station_range(w, run.along);
+        if (alo > ahi) continue;  // via fields carry no gap bit
+        const std::uint8_t level = run_level(run);
+        for (int s = alo; s <= ahi; ++s) {
+          auto& word = words[static_cast<std::size_t>(s)];
+          if (level < FastGrid::via_field(word, k, FastGrid::ViaField(f)))
+            put_via(word, k, f, level);
+        }
+      }
+    }
+  }
+  return words;
+}
+
+namespace {
+
+/// Cross-direction distance within which shapes in `region` can influence a
+/// track's legality data on wiring layer w: the widest cached model extent
+/// plus the layer's maximum spacing, over-approximated with extra slack so
+/// the filter never under-selects (a too-narrow filter would hide real
+/// divergences; a too-wide one only costs time).
+Coord influence_reach(const Tech& tech, int cached, int w, bool via) {
+  Coord ext = 0;
+  for (int k = 0; k < cached; ++k) {
+    const int nf = via ? 2 : 4;
+    for (int f = 0; f < nf; ++f) {
+      WireModel model;
+      ShapeKind kind;
+      const bool ok = via ? via_model_for(tech, w, k, f, model, kind)
+                          : wiring_model_for(tech, w, k, f, model, kind);
+      if (!ok) continue;
+      ext = std::max({ext, -model.expand.xlo, model.expand.xhi,
+                      -model.expand.ylo, model.expand.yhi});
+    }
+  }
+  Coord spacing = tech.max_spacing(w);
+  if (via) {
+    const ViaLayer& vl = tech.via_layers[static_cast<std::size_t>(w)];
+    spacing = std::max({spacing, vl.cut_spacing, vl.interlayer_spacing});
+  }
+  return ext + spacing + 400;
+}
+
+void describe_mismatch(std::string& why, bool via, int layer, int track,
+                       int station, std::uint64_t got, std::uint64_t want,
+                       int cached) {
+  why += (via ? "via layer " : "wiring layer ") + std::to_string(layer) +
+         " track " + std::to_string(track) + " station " +
+         std::to_string(station) + ":";
+  for (int k = 0; k < cached; ++k) {
+    if (via) {
+      for (int f = 0; f < 2; ++f) {
+        const auto gf = FastGrid::via_field(got, k, FastGrid::ViaField(f));
+        const auto wf = FastGrid::via_field(want, k, FastGrid::ViaField(f));
+        if (gf != wf)
+          why += " wt" + std::to_string(k) + (f == 0 ? " cut " : " proj ") +
+                 "got " + std::to_string(gf) + " want " + std::to_string(wf);
+      }
+    } else {
+      static const char* kNames[4] = {" wire ", " jog ", " viabot ",
+                                      " viatop "};
+      for (int f = 0; f < 4; ++f) {
+        const auto gf = FastGrid::wiring_field(got, k, FastGrid::Field(f));
+        const auto wf = FastGrid::wiring_field(want, k, FastGrid::Field(f));
+        if (gf != wf)
+          why += " wt" + std::to_string(k) + kNames[f] + "got " +
+                 std::to_string(gf) + " want " + std::to_string(wf);
+      }
+      if (FastGrid::gap_bit(got, k) != FastGrid::gap_bit(want, k))
+        why += " wt" + std::to_string(k) + " gap got " +
+               std::to_string(FastGrid::gap_bit(got, k) ? 1 : 0) + " want " +
+               std::to_string(FastGrid::gap_bit(want, k) ? 1 : 0);
+    }
+  }
+  why += "\n";
+}
+
+}  // namespace
+
+std::size_t fastgrid_diff_vs_naive(const FastGrid& fast, const Tech& tech,
+                                   const TrackGraph& tg,
+                                   const DrcChecker& checker, std::string* why,
+                                   const Rect* region) {
+  constexpr std::size_t kMaxReported = 8;
+  const int cached = fast.cached_wiretypes();
+  std::size_t mismatches = 0;
+  auto check_layer = [&](bool via, int layer) {
+    const int w = layer;  // via layers live on the lattice of wiring layer v
+    const auto& tracks = tg.tracks(w);
+    const int n = static_cast<int>(tg.stations(w).size());
+    int tlo = 0, thi = static_cast<int>(tracks.size()) - 1;
+    if (region != nullptr) {
+      const bool horiz = tech.pref(w) == Dir::kHorizontal;
+      const Interval cross_iv = horiz ? region->y_iv() : region->x_iv();
+      std::tie(tlo, thi) = tg.track_range(
+          w, cross_iv.expanded(influence_reach(tech, cached, layer, via)));
+    }
+    for (int ti = tlo; ti <= thi; ++ti) {
+      const auto want =
+          via ? naive_via_words(tech, tg, checker, cached, layer, ti)
+              : naive_wiring_words(tech, tg, checker, cached, layer, ti);
+      for (int s = 0; s < n; ++s) {
+        const std::uint64_t got =
+            via ? fast.via_word(layer, ti, s) : fast.word(layer, ti, s);
+        if (got == want[static_cast<std::size_t>(s)]) continue;
+        if (why != nullptr && mismatches < kMaxReported)
+          describe_mismatch(*why, via, layer, ti, s, got,
+                            want[static_cast<std::size_t>(s)], cached);
+        ++mismatches;
+      }
+    }
+  };
+  for (int w = 0; w < tech.num_wiring(); ++w) check_layer(/*via=*/false, w);
+  for (int v = 0; v < tech.num_vias(); ++v) check_layer(/*via=*/true, v);
+  return mismatches;
+}
+
+}  // namespace bonn

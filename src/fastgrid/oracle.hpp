@@ -1,0 +1,55 @@
+// Naive reference recomputation of fast-grid legality words.
+//
+// The fast grid (§3.6) keeps its packed per-(layer, track) words up to date
+// incrementally: every shape-grid mutation triggers a windowed recompute of
+// the affected neighbourhood.  That machinery — reach windows, station-range
+// widening, interval-map updates — is exactly where stale-cache bugs hide,
+// because a wrong word does not crash anything; it silently mis-prices or
+// mis-permits wiring and only surfaces as DRC errors much later.
+//
+// This oracle recomputes the words of one whole track the dumbest possible
+// way: a dense per-station array filled directly from the distance rule
+// checker (§3.4) over the current shape grid, with the bound spanning the
+// entire track and no windows or widening at all.  Any divergence between
+// FastGrid's stored words and this recomputation means one of the redundant
+// encodings of routing state went stale — the bug class the fuzzer
+// (src/fuzz) and RoutingSpace::check_invariants() hunt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/drc/checker.hpp"
+#include "src/fastgrid/fast_grid.hpp"
+#include "src/tracks/track_graph.hpp"
+
+namespace bonn {
+
+/// Expected packed words for all stations of wiring track (layer, track),
+/// considering the first `cached` wiretypes.  words[s] corresponds to
+/// station index s.
+std::vector<std::uint64_t> naive_wiring_words(const Tech& tech,
+                                              const TrackGraph& tg,
+                                              const DrcChecker& checker,
+                                              int cached, int layer, int track);
+
+/// Same for a via layer (stations/tracks of the lower wiring layer).
+std::vector<std::uint64_t> naive_via_words(const Tech& tech,
+                                           const TrackGraph& tg,
+                                           const DrcChecker& checker,
+                                           int cached, int via_layer,
+                                           int track);
+
+/// Compare `fast` against the naive recomputation.  With `region` set, only
+/// tracks whose legality data can depend on shapes in the region are checked
+/// (track cross-coordinate within the maximum rule reach of the region);
+/// with nullptr every track of every layer is checked.  Returns the number
+/// of mismatching stations; describes the first few in *why when given.
+std::size_t fastgrid_diff_vs_naive(const FastGrid& fast, const Tech& tech,
+                                   const TrackGraph& tg,
+                                   const DrcChecker& checker,
+                                   std::string* why = nullptr,
+                                   const Rect* region = nullptr);
+
+}  // namespace bonn

@@ -1,0 +1,105 @@
+// bonn_fuzz: differential fuzzing CLI for the routing-space stack.
+//
+//   bonn_fuzz [--seeds N] [--seed0 S] [--steps M] [--check-every K]
+//             [--no-eco] [--no-drc] [--layers L] [--artifact-dir D]
+//   bonn_fuzz --replay <script>
+//
+// Runs N independent episodes (seeds S..S+N-1).  Exits nonzero on the first
+// divergence, after shrinking it and writing a replay script.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/fuzz/fuzzer.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seeds N] [--seed0 S] [--steps M] [--check-every K]\n"
+               "       [--no-eco] [--no-drc] [--layers L] [--artifact-dir D]\n"
+               "       [--replay script]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 4;
+  std::uint64_t seed0 = 1;
+  bonn::fuzz::FuzzParams params;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](long long* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoll(argv[++i]);
+      return true;
+    };
+    long long v = 0;
+    if (arg == "--seeds" && next(&v)) seeds = static_cast<int>(v);
+    else if (arg == "--seed0" && next(&v)) seed0 = static_cast<std::uint64_t>(v);
+    else if (arg == "--steps" && next(&v)) params.steps = static_cast<int>(v);
+    else if (arg == "--check-every" && next(&v)) params.check_every = static_cast<int>(v);
+    else if (arg == "--layers" && next(&v)) params.layers = static_cast<int>(v);
+    else if (arg == "--no-eco") params.with_eco = false;
+    else if (arg == "--no-drc") params.drc_checks = false;
+    else if (arg == "--artifact-dir") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      params.artifact_dir = argv[++i];
+    } else if (arg == "--replay") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      replay_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::cerr << "bonn_fuzz: cannot open " << replay_path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string err;
+    const auto res = bonn::fuzz::replay_script(text.str(), &err);
+    if (!res.ok()) {
+      std::cerr << "bonn_fuzz: replay FAILED at step "
+                << res.failure->failing_step << ":\n"
+                << res.failure->message << "\n";
+      return 1;
+    }
+    std::cout << "bonn_fuzz: replay clean (" << res.ops_executed << " ops, "
+              << res.checks << " checks)\n";
+    return 0;
+  }
+
+  std::int64_t total_ops = 0;
+  std::int64_t total_checks = 0;
+  for (int s = 0; s < seeds; ++s) {
+    params.seed = seed0 + static_cast<std::uint64_t>(s);
+    const auto res = bonn::fuzz::run_fuzz(params);
+    total_ops += res.ops_executed;
+    total_checks += res.checks;
+    if (!res.ok()) {
+      std::cerr << "bonn_fuzz: seed " << params.seed << " FAILED at step "
+                << res.failure->failing_step << " ("
+                << res.failure->ops.size() << " ops after shrinking):\n"
+                << res.failure->message << "\n";
+      if (!res.failure->script_path.empty())
+        std::cerr << "replay script: " << res.failure->script_path << "\n";
+      return 1;
+    }
+    std::cout << "bonn_fuzz: seed " << params.seed << " clean ("
+              << res.ops_executed << " ops, " << res.checks << " checks)\n";
+  }
+  std::cout << "bonn_fuzz: all " << seeds << " seeds clean (" << total_ops
+            << " ops, " << total_checks << " checks)\n";
+  return 0;
+}

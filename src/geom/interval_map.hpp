@@ -105,6 +105,21 @@ class IntervalMap {
   /// Total number of breakpoints stored (memory metric for Fig. 3/4 benches).
   std::size_t breakpoint_count() const { return breaks_.size(); }
 
+  /// Structural invariant: the stored representation is canonical — no
+  /// breakpoint carries the same value as the piece before it (assign()
+  /// coalesces such neighbours away).  A non-canonical map still answers
+  /// queries correctly but breaks bit-identity guarantees (snapshot
+  /// comparisons, breakpoint-count metrics), so the invariant auditor
+  /// (RoutingSpace::check_invariants) verifies it for every row and track.
+  bool check_coalesced() const {
+    const V* prev = &default_;
+    for (const auto& [pos, v] : breaks_) {
+      if (v == *prev) return false;
+      prev = &v;
+    }
+    return true;
+  }
+
   const V& default_value() const { return default_; }
 
   void clear() { breaks_.clear(); }

@@ -95,7 +95,12 @@ CleanupStats DrcCleanup::run(const CleanupParams& params) {
       offenders.resize(static_cast<std::size_t>(budget));
     }
     NetRouteParams rp = params.reroute;
-    rp.search.allowed_ripup = kStandard;
+    // Cleanup reroutes around its blockers instead of ripping them: a
+    // rip-up cascade here must land cleanly or roll back (net_router.cpp),
+    // which makes it expensive, and measurements show it fixes no more
+    // violations than plain rerouting — the scheduler's escalation rounds
+    // already did the aggressive work.
+    rp.search.allowed_ripup = 0;
     // A cleanup reroute must never convert a routed net into an open —
     // commit even when some violation remains (it was violating before).
     rp.commit_despite_violations = true;

@@ -23,6 +23,7 @@ std::size_t CellConfigHash::operator()(const CellConfig& c) const {
     hash_combine(h, static_cast<std::size_t>(s.cls));
     hash_combine(h, static_cast<std::size_t>(s.rule_width));
     hash_combine(h, static_cast<std::size_t>(s.net));
+    hash_combine(h, static_cast<std::size_t>(s.ripup));
   }
   return h;
 }

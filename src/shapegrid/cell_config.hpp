@@ -21,21 +21,39 @@
 
 namespace bonn {
 
+/// Ripup levels: 0 = fixed (blockages, pins, pre-routes); higher levels are
+/// removable, with larger numbers meaning "easier to rip".  The ripup-and-
+/// reroute driver passes a maximum level it is willing to disturb (§3.3).
+using RipupLevel = std::uint8_t;
+constexpr RipupLevel kFixed = 0;
+constexpr RipupLevel kCritical = 1;
+constexpr RipupLevel kStandard = 4;
+
 /// One shape clipped to a cell, in cell-relative coordinates.
 ///
-/// Deviation from §3.3: we store the owning net per shape instead of per
-/// interval.  The paper can keep nets out of the configurations because its
-/// cells are sized so shapes of different nets never share one; our pitch
-/// cells can legally mix (e.g. a pin and a foreign wire corner), and
-/// attributing ownership per shape keeps same-net exemption and rip-up
-/// candidate reporting exact.  Costs some configuration sharing across
-/// nets; the interval compression along wires is unaffected.
+/// Deviation from §3.3: we store the owning net and ripup level per shape
+/// instead of per interval.  The paper can keep them out of the
+/// configurations because its cells are sized so shapes of different nets
+/// never share one; our pitch cells can legally mix (e.g. a pin and a
+/// foreign wire corner), and attributing ownership per shape keeps same-net
+/// exemption and rip-up candidate reporting exact.  Per-shape ripup is also
+/// load-bearing for the fast grid's "incremental == rebuild" invariant: a
+/// cell-level min would make a shape's reported ripup depend on its cell
+/// co-tenants, so inserting a shape could silently change the forbidden
+/// runs anchored to a *neighbour's* far-reaching merged geometry — far
+/// outside any refresh window derived from the inserted shape's rect.
+/// Costs some configuration sharing across nets; the interval compression
+/// along wires is unaffected.
 struct CellShape {
   Rect rel;
   ShapeKind kind = ShapeKind::kWire;
   ShapeClass cls = 0;
   Coord rule_width = 0;  ///< rule width of the *unclipped* shape
   int net = -1;          ///< owning net (-1 for blockages)
+  /// Ripup level the shape was inserted at (pins/blockages are fixed by
+  /// kind regardless; removal must pass the same level — see
+  /// ShapeGrid::remove).
+  RipupLevel ripup = 255;
 
   friend constexpr bool operator==(const CellShape&, const CellShape&) = default;
   friend constexpr auto operator<=>(const CellShape&, const CellShape&) = default;

@@ -78,29 +78,14 @@ void ShapeGrid::apply(const Shape& s, RipupLevel ripup, bool inserting) {
       const Rect cell = cell_rect(g, static_cast<int>(r), c);
       const Rect clip = s.rect.intersection(cell);
       BONN_ASSERT(!clip.empty() || clip.xlo == clip.xhi || clip.ylo == clip.yhi);
+      // Ripup travels inside the configuration (per shape, see
+      // cell_config.hpp); removal therefore requires the same level the
+      // shape was inserted at — the config table checks it was present.
       CellShape cs{clip.translated(-cell.xlo, -cell.ylo), s.kind, s.cls, width,
-                   s.net};
-      // Pins and blockages are fixed by kind; they must not drag the cell's
-      // *wiring* ripup level down to 0 (their fixedness is recovered from
-      // the shape kind at query time).
-      const bool fixed_kind =
-          s.kind == ShapeKind::kPin || s.kind == ShapeKind::kBlockage;
+                   s.net, ripup};
       CellEntry e = row.at(c);
-      if (inserting) {
-        e.config = table_.add_shape(e.config, cs);
-        if (table_.get(e.config).shapes.size() == 1) {
-          e.net = s.net;
-          e.ripup = fixed_kind ? RipupLevel{255} : ripup;
-        } else {
-          if (e.net != s.net) e.net = -2;  // mixed ownership: conservative
-          if (!fixed_kind) e.ripup = std::min(e.ripup, ripup);
-        }
-      } else {
-        e.config = table_.remove_shape(e.config, cs);
-        if (table_.empty_config(e.config)) e = CellEntry{};
-        // else: net/ripup kept — exact for single-owner cells (the common
-        // case); mixed cells stay conservatively marked.
-      }
+      e.config = inserting ? table_.add_shape(e.config, cs)
+                           : table_.remove_shape(e.config, cs);
       row.assign(c, c + 1, e);
     }
   }
@@ -195,7 +180,7 @@ void ShapeGrid::query(int global_layer, const Rect& window,
         for (const CellShape& cs : cfg.shapes) {
           const Rect abs = cs.rel.translated(cell.xlo, cell.ylo);
           if (!abs.intersects(window)) continue;
-          fn(GridShape{abs, cs.kind, cs.cls, cs.rule_width, cs.net, e.ripup});
+          fn(GridShape{abs, cs.kind, cs.cls, cs.rule_width, cs.net, cs.ripup});
         }
       }
     });
@@ -206,6 +191,22 @@ bool ShapeGrid::region_empty(int global_layer, const Rect& window) const {
   bool empty = true;
   query(global_layer, window, [&](const GridShape&) { empty = false; });
   return empty;
+}
+
+bool ShapeGrid::check_canonical(std::string* why) const {
+  for (std::size_t gl = 0; gl < layers_.size(); ++gl) {
+    const LayerGrid& g = layers_[gl];
+    for (std::size_t r = 0; r < g.rows.size(); ++r) {
+      auto lk = row_read(static_cast<int>(gl), static_cast<Coord>(r));
+      if (!g.rows[r].check_coalesced()) {
+        if (why != nullptr)
+          *why += "non-canonical shape-grid row: layer " + std::to_string(gl) +
+                  " row " + std::to_string(r) + "\n";
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 std::size_t ShapeGrid::interval_count() const {

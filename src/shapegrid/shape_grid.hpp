@@ -2,9 +2,10 @@
 //
 // Each global layer (wiring and via layers alike) is partitioned into
 // pitch-sized rectangular cells.  Rows of cells run in the layer's preferred
-// direction; each row is an interval map of cell configuration numbers plus
-// the owning net and ripup level, so runs of identical cells (the interior
-// of every on-track wire) collapse into single intervals.
+// direction; each row is an interval map of cell configuration numbers
+// (ownership and ripup level are stored per shape inside the
+// configuration), so runs of identical cells (the interior of every
+// on-track wire) collapse into single intervals.
 //
 // The shape grid answers the fundamental question of detailed routing: which
 // shapes are present near a location, whom do they belong to, and may they
@@ -24,23 +25,20 @@
 
 namespace bonn {
 
-/// Ripup levels: 0 = fixed (blockages, pins, pre-routes); higher levels are
-/// removable, with larger numbers meaning "easier to rip".  The ripup-and-
-/// reroute driver passes a maximum level it is willing to disturb (§3.3).
-using RipupLevel = std::uint8_t;
-constexpr RipupLevel kFixed = 0;
-constexpr RipupLevel kCritical = 1;
-constexpr RipupLevel kStandard = 4;
-
 /// A shape materialized from the grid: absolute rect + ownership data.
+/// (RipupLevel and its constants live in cell_config.hpp.)
 struct GridShape {
   Rect rect;
   ShapeKind kind;
   ShapeClass cls;
   Coord rule_width;
-  int net;            ///< -1: fixed/unknown owner, -2: mixed cell
-  /// Min ripup level over the cell's *wiring* shapes (pins/blockages are
-  /// fixed by kind and do not lower it); 255 if the cell has none.
+  int net;            ///< -1: fixed/unknown owner (never mixed: per-shape)
+  /// The *shape's own* ripup level (the level it was inserted at).  This is
+  /// a per-shape attribute, not a cell aggregate: a cell-level min would
+  /// make a shape's reported level depend on its cell co-tenants, which
+  /// breaks the fast grid's incremental == rebuild invariant (a local
+  /// insert could change forbidden runs anchored to a neighbour's merged
+  /// geometry far away).  Pins/blockages are fixed by kind regardless.
   RipupLevel ripup;
 };
 
@@ -48,21 +46,18 @@ class ShapeGrid {
  private:
   struct CellEntry {
     int config = CellConfigTable::kEmpty;
-    int net = -1;
-    RipupLevel ripup = 255;
     friend bool operator==(const CellEntry&, const CellEntry&) = default;
   };
 
  public:
   ShapeGrid(const Tech& tech, const Rect& die);
 
-  /// Byte-exact image of one row segment, for journaled rollback.  insert()
-  /// followed by remove() of the same shape is *not* an identity on the row
-  /// data: mixed-ownership cells keep their conservative net/ripup markings,
-  /// and interval coalescing depends on interned config numbers.  Capturing
-  /// the touched segments before a mutation and restoring them afterwards is
-  /// exact.  (The config table itself is an append-only intern cache, so a
-  /// restore only rewinds which configs cells reference, never the table.)
+  /// Byte-exact image of one row segment, for journaled rollback.  Row data
+  /// is just interned config numbers, so capturing the touched segments
+  /// before a mutation and restoring them afterwards is exact regardless of
+  /// what the mutation did.  (The config table itself is an append-only
+  /// intern cache, so a restore only rewinds which configs cells reference,
+  /// never the table.)
   struct RowImage {
     int layer = 0;
     int row = 0;
@@ -95,6 +90,11 @@ class ShapeGrid {
 
   /// True if no shape piece intersects the window.
   bool region_empty(int global_layer, const Rect& window) const;
+
+  /// Auditor hook: every row's interval map must be stored canonically
+  /// (coalesced); see IntervalMap::check_coalesced.  Appends the first
+  /// offending row to *why when given.
+  bool check_canonical(std::string* why = nullptr) const;
 
   // --- statistics for the Fig. 3 bench ---
   std::size_t interval_count() const;       ///< stored non-trivial pieces

@@ -32,6 +32,8 @@ struct Shape {
   ShapeKind kind = ShapeKind::kWire;
   ShapeClass cls = 0;
   int net = -1;  ///< owning net, -1 for blockages
+
+  friend constexpr bool operator==(const Shape&, const Shape&) = default;
 };
 
 /// All shapes induced by `path` under technology `tech`.

@@ -3,8 +3,13 @@
 // property), and the §4.4 net connection procedure on the tiny chip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "src/db/instance_gen.hpp"
 #include "src/detailed/net_router.hpp"
+#include "src/detailed/ontrack_search.hpp"
 #include "src/drc/audit.hpp"
 #include "src/geom/rsmt.hpp"
 #include "src/util/rng.hpp"
@@ -263,6 +268,34 @@ TEST_F(DetailedFixture, VerticesToPathViaStickConsistency) {
       EXPECT_LT(v.below, 3);
     }
   }
+}
+
+// Regression: the search's closed-set key used to pack (layer, track,
+// station) into 16/24/24 bits with plain shifts, so distinct vertices could
+// collide — e.g. {0, 1, 0} and {0, 0, 1 << 24} hashed identically, and the
+// -1 sentinel coordinates of invalid vertices aliased real ones.  The biased
+// 21-bit packing is injective over the asserted domain.
+TEST(VertexKey, InjectiveOverFormerCollisionPairs) {
+  const std::pair<TrackVertex, TrackVertex> pairs[] = {
+      {{0, 1, 0}, {0, 0, 1 << 20}},       // track bit spilling into layer
+      {{1, 0, 0}, {0, 1 << 20, 0}},       // station bit spilling into track
+      {{0, 0, -1}, {0, -1, 0}},           // sentinel aliasing
+      {{-1, -1, -1}, {0, 0, 0}},          // invalid() vs origin
+      {{3, 17, 250}, {3, 18, 250}},
+  };
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(vertex_key(a), vertex_key(b))
+        << "(" << a.layer << "," << a.track << "," << a.station << ") vs ("
+        << b.layer << "," << b.track << "," << b.station << ")";
+  }
+  // Dense exhaustive corner: all keys distinct in a small cube around the
+  // origin, including negative sentinels.
+  std::vector<std::uint64_t> keys;
+  for (int l = -1; l <= 2; ++l)
+    for (int t = -1; t <= 6; ++t)
+      for (int s = -1; s <= 6; ++s) keys.push_back(vertex_key({l, t, s}));
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "src/db/instance_gen.hpp"
 #include "src/detailed/routing_space.hpp"
+#include "src/fastgrid/oracle.hpp"
 #include "src/util/rng.hpp"
 
 namespace bonn {
@@ -207,6 +208,81 @@ TEST_F(FastGridTest, IncrementalMatchesRebuild) {
         << "layer " << s.v.layer << " track " << s.v.track << " station "
         << s.v.station;
   }
+}
+
+/// All-words comparison of the incremental state against the oracle (what
+/// RoutingSpace::check_invariants runs); "" on agreement.
+std::string fast_vs_naive(const RoutingSpace& rs) {
+  std::string why;
+  const std::size_t diffs = fastgrid_diff_vs_naive(
+      rs.fast(), rs.chip().tech, rs.tg(), rs.checker(), &why);
+  return diffs == 0 ? std::string() : why;
+}
+
+// Regression (fuzzer find, shrunk from seed 1): ripup must be a per-shape
+// attribute.  With the old cell-level min, inserting a critical (level-1)
+// shape into a cell shared with another net's *long* standard wire dragged
+// the wire's reported level down; merge_pieces spread it across the merged
+// rect, and the forbidden run's level changed stations far outside the
+// incremental refresh window of the inserted shape.
+TEST_F(FastGridTest, NeighbourCellRipupStaysLocalToTheInsertedShape) {
+  // Long standard wire of net 0 spanning many cells on layer 0.
+  const Shape wire{Rect{300, 900, 3300, 960}, global_of_wiring(0),
+                   ShapeKind::kWire, 0, 0};
+  rs_->insert_shape(wire, kStandard);
+  ASSERT_EQ(fast_vs_naive(*rs_), "");
+  // Critical shape of net 1 sharing only the wire's first cell.
+  const Shape crit{Rect{310, 980, 380, 1040}, global_of_wiring(0),
+                   ShapeKind::kWire, 0, 1};
+  rs_->insert_shape(crit, kCritical);
+  EXPECT_EQ(fast_vs_naive(*rs_), "");
+  rs_->remove_shape(crit, kCritical);
+  EXPECT_EQ(fast_vs_naive(*rs_), "");
+}
+
+// Regression: a shape reaching the die edge drives recompute_wiring's gap
+// restoration at station 0 / the track start; the `update(alo-1, alo, ...)`
+// neighbour write must not underflow the interval map's domain.
+TEST_F(FastGridTest, ShapeAtDieEdgeKeepsIncrementalEqualToRebuild) {
+  for (int layer = 0; layer < 2; ++layer) {
+    // Overhang the die on both ends of the along axis (and off-grid cross
+    // coordinates) — exercises station_range clamping at both borders.
+    const bool horiz = chip_.tech.pref(layer) == Dir::kHorizontal;
+    const Rect r = horiz ? Rect{-150, 333, 250, 397} : Rect{333, -150, 397, 250};
+    const Rect r2 = horiz ? Rect{3800, 407, 4300, 463} : Rect{407, 3800, 463, 4300};
+    rs_->insert_shape(
+        Shape{r, global_of_wiring(layer), ShapeKind::kWire, 0, 2}, kStandard);
+    rs_->insert_shape(
+        Shape{r2, global_of_wiring(layer), ShapeKind::kWire, 0, 3}, kStandard);
+  }
+  EXPECT_EQ(fast_vs_naive(*rs_), "");
+  std::string why;
+  EXPECT_TRUE(rs_->fast().check_canonical(&why)) << why;
+}
+
+// Regression: the word-field writers saturate at kFree (7) instead of
+// silently masking high bits into a wrong small value (`9 & 0x7 == 1`, which
+// read as "critical blocker" instead of "free").
+TEST(FastGridFields, WithFieldSaturatesAtKFree) {
+  const std::uint64_t w0 = ~0ULL;
+  for (int wt = 0; wt < 2; ++wt) {
+    for (int f = 0; f < 4; ++f) {
+      const std::uint64_t w = FastGrid::with_wiring_field(
+          w0, wt, static_cast<FastGrid::Field>(f), 9);
+      EXPECT_EQ(FastGrid::wiring_field(w, wt, static_cast<FastGrid::Field>(f)),
+                FastGrid::kFree);
+    }
+    for (int f = 0; f < 2; ++f) {
+      const std::uint64_t w = FastGrid::with_via_field(
+          0, wt, static_cast<FastGrid::ViaField>(f), 250);
+      EXPECT_EQ(FastGrid::via_field(w, wt, static_cast<FastGrid::ViaField>(f)),
+                FastGrid::kFree);
+    }
+  }
+  // In-range values are stored verbatim.
+  const std::uint64_t w =
+      FastGrid::with_wiring_field(0, 1, FastGrid::kViaTopF, 5);
+  EXPECT_EQ(FastGrid::wiring_field(w, 1, FastGrid::kViaTopF), 5);
 }
 
 }  // namespace

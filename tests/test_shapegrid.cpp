@@ -71,13 +71,21 @@ TEST_F(ShapeGridTest, MixedCellOwnershipPerShape) {
   EXPECT_FALSE(saw_mixed);
 }
 
-TEST_F(ShapeGridTest, RipupLevelIsMin) {
+TEST_F(ShapeGridTest, RipupLevelIsPerShape) {
+  // Two shapes sharing one cell at different levels: each reports the level
+  // it was inserted at — not a cell-wide min.  (Regression: the cell-min
+  // made a shape's reported level depend on its co-tenants, which let a
+  // local insert move forbidden runs far outside any incremental refresh
+  // window once the DRC checker merged the co-tenant's geometry.)
   grid_.insert(wire_shape({0, 0, 90, 40}, 0, 1), kStandard);
   grid_.insert(wire_shape({10, 50, 90, 90}, 0, 1), kCritical);
-  RipupLevel min_seen = 255;
-  grid_.query(global_of_wiring(0), {0, 0, 100, 100},
-              [&](const GridShape& gs) { min_seen = std::min(min_seen, gs.ripup); });
-  EXPECT_EQ(min_seen, kCritical);
+  int seen = 0;
+  grid_.query(global_of_wiring(0), {0, 0, 100, 100}, [&](const GridShape& gs) {
+    ++seen;
+    EXPECT_EQ(gs.ripup, gs.rect.ylo == 0 ? kStandard : kCritical)
+        << "rect ylo " << gs.rect.ylo;
+  });
+  EXPECT_EQ(seen, 2);
 }
 
 TEST_F(ShapeGridTest, DuplicateInsertRemoveOnce) {

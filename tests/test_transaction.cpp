@@ -414,6 +414,93 @@ TEST(Eco, UntouchedNetsKeepPriorWiring) {
   }
 }
 
+// ------------------------------- reservations × ECO × rollback property ---
+
+/// Satellite property test of the correctness harness: random sequences
+/// mixing Reservations with ECO reroutes and transaction rollback must keep
+/// every cross-structure invariant (shape grid canonical form, fast-grid
+/// incremental == naive recomputation, recorded-path/id bookkeeping) intact
+/// at every boundary — including *while* shapes are held out by a live
+/// Reservation, which the audit must not misread as "recorded path missing
+/// from the grid".
+class ReservationEcoInvariants : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ReservationEcoInvariants, HoldAcrossBoundariesStaysConsistent) {
+  ChipParams cp;
+  cp.layers = 4;
+  cp.tiles_x = 2;
+  cp.tiles_y = 2;
+  cp.tracks_per_tile = 20;
+  cp.num_nets = 10;
+  cp.seed = GetParam();
+  const Chip chip = generate_chip(cp);
+  const int nets = chip.num_nets();
+  RoutingSpace rs(chip);
+  Rng rng(GetParam() * 977);
+  std::string why;
+
+  FlowParams fp;
+  fp.tiles_x = 2;
+  fp.tiles_y = 2;
+  fp.threads = 1;
+  fp.run_cleanup = false;
+  fp.obs.metrics = false;
+
+  for (int round = 0; round < 4; ++round) {
+    // ECO at the base level: replace all wiring via load_result, then audit.
+    const RoutingResult prior = rs.result();
+    RoutingResult out(static_cast<std::size_t>(nets));
+    reroute_nets(chip, prior, {static_cast<int>(rng.below(nets))}, fp, &out);
+    rs.load_result(out);
+    ASSERT_TRUE(rs.check_invariants(&why)) << "after ECO: " << why;
+
+    // A transaction mixing commits with reservations of recorded wiring.
+    const SpaceSnapshot before = snapshot(rs);
+    {
+      RoutingTransaction txn(rs);
+      std::vector<RoutingSpace::Reservation> holds;
+      for (int step = 0; step < 12; ++step) {
+        const int net = static_cast<int>(rng.below(nets));
+        switch (rng.below(3)) {
+          case 0: {
+            const Coord y = 200 + 100 * static_cast<Coord>(rng.below(15));
+            rs.commit_path(make_path(net, 200 + 10 * rng.range(0, 30), y,
+                                     1200 + 10 * rng.range(0, 50),
+                                     static_cast<int>(rng.below(2)) * 2));
+            break;
+          }
+          case 1: {
+            if (rs.paths(net).empty()) break;
+            std::vector<Shape> shapes;
+            for (const Shape& s :
+                 expand_path(rs.paths(net).front(), chip.tech)) {
+              shapes.push_back(s);
+            }
+            holds.emplace_back(rs, std::move(shapes), rs.net_level(net));
+            break;
+          }
+          default: {
+            if (!holds.empty()) holds.pop_back();  // restore via destructor
+            break;
+          }
+        }
+        // The audit must hold even while reservations are live.
+        ASSERT_TRUE(rs.check_invariants(&why))
+            << "round " << round << " step " << step << ": " << why;
+      }
+      holds.clear();  // all reservations restore inside the transaction
+      EXPECT_EQ(rs.reserved_shape_count(), 0u);
+      txn.rollback();
+    }
+    ASSERT_EQ(snapshot(rs), before) << "rollback not bit-identical";
+    ASSERT_TRUE(rs.check_invariants(&why)) << "after rollback: " << why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReservationEcoInvariants,
+                         ::testing::Values(3, 11));
+
 TEST(Eco, DeterministicAcrossThreadCounts) {
   const Chip chip = eco_chip();
   FlowParams fp = eco_flow();

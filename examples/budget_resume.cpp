@@ -1,0 +1,122 @@
+// Budgets & resume: run the BonnRoute flow under a wall-clock deadline,
+// checkpoint when it trips, then resume from the checkpoint and verify the
+// resumed result is bit-identical to an uninterrupted run.
+//
+//   $ ./examples/budget_resume [deadline_seconds] [checkpoint_path]
+//
+// With the default 1-second deadline on the bundled instance the first run
+// usually stops early (outcome budget_exhausted); resume then finishes the
+// remaining phases.  Exit code 0 means the fault-tolerance contract held:
+// the interrupted run terminated promptly with a loadable checkpoint and a
+// structurally legal partial result, and resume reproduced the golden run.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/db/chip.hpp"
+#include "src/db/instance_gen.hpp"
+#include "src/router/bonnroute.hpp"
+#include "src/util/timer.hpp"
+
+using namespace bonn;
+
+namespace {
+
+bool same_result(const RoutingResult& a, const RoutingResult& b) {
+  if (a.net_paths.size() != b.net_paths.size()) return false;
+  for (std::size_t i = 0; i < a.net_paths.size(); ++i) {
+    if (!(a.net_paths[i] == b.net_paths[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double deadline_s = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const std::string ckpt_path =
+      argc > 2 ? argv[2] : "/tmp/bonn_budget_resume.ckpt";
+
+  ChipParams params;
+  params.tiles_x = 4;
+  params.tiles_y = 4;
+  params.tracks_per_tile = 30;
+  params.num_nets = 120;
+  params.seed = 2026;
+  const Chip chip = generate_chip(params);
+  std::printf("chip: %d nets, %d pins\n", chip.num_nets(), chip.num_pins());
+
+  FlowParams flow;
+  flow.global.sharing.phases = 4;
+  flow.detailed.rounds = 2;
+  flow.cleanup.max_reroutes = 50;
+
+  // Golden reference: the same flow, uninterrupted.
+  RoutingResult golden;
+  const FlowReport gold = run_bonnroute_flow(chip, flow, &golden);
+  if (gold.outcome != FlowOutcome::kCompleted) {
+    std::printf("FAIL: golden run did not complete (%s)\n",
+                to_string(gold.outcome));
+    return 1;
+  }
+  std::printf("golden run: %.2f s\n", gold.total_seconds);
+
+  // Budgeted run: same flow under a deadline, checkpointing on the trip.
+  FlowParams limited = flow;
+  limited.budget.deadline_s = deadline_s;
+  limited.checkpoint_path = ckpt_path;
+  Timer timer;
+  RoutingResult partial;
+  const FlowReport report = run_bonnroute_flow(chip, limited, &partial);
+  const double elapsed = timer.seconds();
+  std::printf("budgeted run (%.2f s deadline): outcome=%s stop=%s in %.2f s\n",
+              deadline_s, to_string(report.outcome),
+              to_string(report.stop_reason), elapsed);
+
+  if (report.outcome == FlowOutcome::kCompleted) {
+    // Fast machine or generous deadline: nothing to resume, but the result
+    // must still be the golden one.
+    const bool ok = same_result(partial, golden);
+    std::printf("%s: flow finished under the deadline, result %s golden\n",
+                ok ? "OK" : "FAIL", ok ? "matches" : "differs from");
+    return ok ? 0 : 1;
+  }
+
+  if (report.outcome != FlowOutcome::kBudgetExhausted) {
+    std::printf("FAIL: unexpected outcome\n");
+    return 1;
+  }
+  // Acceptance: cooperative wind-down, not a hang — well under the golden
+  // runtime, with generous slack for loaded CI machines.
+  if (elapsed > 2 * deadline_s + gold.total_seconds) {
+    std::printf("FAIL: wind-down took %.2f s\n", elapsed);
+    return 1;
+  }
+  // The partial result is structurally legal wiring.
+  if (!validate_result(chip, partial).empty()) {
+    std::printf("FAIL: partial result is not legal wiring\n");
+    return 1;
+  }
+  // The checkpoint persisted, loads, and resumes to the golden result.
+  FlowError err;
+  const auto ck = try_load_checkpoint(ckpt_path, &err);
+  if (!ck.has_value()) {
+    std::printf("FAIL: checkpoint did not load: %s\n", err.message.c_str());
+    return 1;
+  }
+  std::printf("checkpoint: phase %s\n", to_string(ck->phase));
+  RoutingResult resumed;
+  const FlowReport rr = resume_flow(chip, *ck, flow, &resumed);
+  if (rr.outcome != FlowOutcome::kCompleted) {
+    std::printf("FAIL: resume did not complete (%s)\n",
+                to_string(rr.outcome));
+    return 1;
+  }
+  if (!same_result(resumed, golden)) {
+    std::printf("FAIL: resumed result differs from the golden run\n");
+    return 1;
+  }
+  std::printf("OK: resume is bit-identical to the uninterrupted run\n");
+  std::remove(ckpt_path.c_str());
+  return 0;
+}

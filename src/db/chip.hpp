@@ -6,6 +6,7 @@
 // perfectly aligned and have many blockages around them").
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "src/tech/shapes.hpp"
 #include "src/tech/stick.hpp"
 #include "src/tech/tech.hpp"
+#include "src/util/error.hpp"
 
 namespace bonn {
 
@@ -75,5 +77,24 @@ struct RoutingResult {
   /// Wirelength of one net.
   Coord net_wirelength(int net) const;
 };
+
+/// Content digest of a chip (FNV-1a over die, tech, blockages, nets, pins).
+/// Checkpoints carry it so a resume against a different chip is rejected
+/// up front instead of silently corrupting the routing space.
+std::uint64_t chip_digest(const Chip& chip);
+
+/// Structural validation of a chip: cross-references in range (net↔pin ids),
+/// shapes on real layers and inside the die, finite weights.  Returns an
+/// empty vector when the chip is well-formed; errors carry actionable
+/// messages and the offending net id where applicable.
+std::vector<FlowError> validate_chip(const Chip& chip);
+
+/// Validate that `result` belongs to `chip`: net count matches, every path's
+/// net id agrees with its slot, and all geometry lies on real layers inside
+/// the die (with slack for off-die patches).  A mismatched prior fed to
+/// reroute_nets / RoutingSpace::load_result would silently corrupt the
+/// routing space; callers reject it with these errors instead.
+std::vector<FlowError> validate_result(const Chip& chip,
+                                       const RoutingResult& result);
 
 }  // namespace bonn

@@ -20,6 +20,35 @@ std::string expect_line(std::istream& is, const char* what) {
   return line;
 }
 
+/// The stream must have extracted every field of `record` successfully —
+/// a truncated or non-numeric field fails with the record named.
+void need_fields(std::istringstream& ls, const char* record) {
+  if (ls.fail()) {
+    parse_error(std::string(record) + " record: missing or malformed fields");
+  }
+}
+
+/// Declared element counts are read as long long and bounds-checked before
+/// any allocation, so a negative or absurd count cannot drive a
+/// multi-gigabyte resize or a silent wrap to a huge std::size_t.
+constexpr long long kMaxCount = 100'000'000;
+
+std::size_t checked_count(long long n, const char* record) {
+  if (n < 0 || n > kMaxCount) {
+    parse_error(std::string(record) + " record: count " + std::to_string(n) +
+                " out of range [0, " + std::to_string(kMaxCount) + "]");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void check_layer(int layer, int layers, const char* record) {
+  if (layer < 0 || layer >= layers) {
+    parse_error(std::string(record) + " record: layer " +
+                std::to_string(layer) + " out of range [0, " +
+                std::to_string(layers - 1) + "]");
+  }
+}
+
 }  // namespace
 
 void write_chip(std::ostream& os, const Chip& chip) {
@@ -56,42 +85,86 @@ Chip read_chip(std::istream& is) {
     std::istringstream ls(expect_line(is, "tech"));
     std::string tag;
     ls >> tag >> layers;
-    if (tag != "tech" || layers < 2) parse_error("tech line");
+    need_fields(ls, "tech");
+    if (tag != "tech" || layers < 2 || layers > 64) parse_error("tech line");
     chip.tech = Tech::make_test(layers);
   }
   {
     std::istringstream ls(expect_line(is, "die"));
     std::string tag;
     ls >> tag >> chip.die.xlo >> chip.die.ylo >> chip.die.xhi >> chip.die.yhi;
+    need_fields(ls, "die");
     if (tag != "die") parse_error("die line");
+    if (chip.die.xlo >= chip.die.xhi || chip.die.ylo >= chip.die.yhi) {
+      parse_error("die record: empty die area");
+    }
   }
   Net* cur_net = nullptr;
   Pin* cur_pin = nullptr;
+  std::size_t declared_pins = 0;  // of the net currently being read
+  auto close_net = [&]() {
+    if (cur_net != nullptr && cur_net->pins.size() != declared_pins) {
+      parse_error("net record '" + cur_net->name + "': declared " +
+                  std::to_string(declared_pins) + " pins but found " +
+                  std::to_string(cur_net->pins.size()));
+    }
+  };
   while (std::getline(is, line)) {
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
-    if (tag == "endchip") return chip;
+    if (tag == "endchip") {
+      close_net();
+      return chip;
+    }
     if (tag == "blockage") {
       Shape s;
       s.kind = ShapeKind::kBlockage;
       s.net = -1;
-      ls >> s.global_layer >> s.cls >> s.rect.xlo >> s.rect.ylo >> s.rect.xhi >>
+      long long cls = 0;
+      ls >> s.global_layer >> cls >> s.rect.xlo >> s.rect.ylo >> s.rect.xhi >>
           s.rect.yhi;
+      need_fields(ls, "blockage");
+      if (s.global_layer < 0 || s.global_layer >= 2 * layers) {
+        parse_error("blockage record: global layer " +
+                    std::to_string(s.global_layer) + " out of range");
+      }
+      if (cls < 0 || cls > 255) parse_error("blockage record: bad class");
+      s.cls = static_cast<ShapeClass>(cls);
+      if (chip.blockages.size() >= static_cast<std::size_t>(kMaxCount)) {
+        parse_error("blockage record: too many blockages");
+      }
       chip.blockages.push_back(s);
     } else if (tag == "net") {
+      close_net();
       Net n;
-      std::size_t npins = 0;
+      long long npins = 0;
       ls >> n.name >> n.wiretype >> n.weight >> npins;
+      need_fields(ls, "net");
+      if (n.wiretype < 0 || n.wiretype > 63) {
+        parse_error("net record '" + n.name + "': bad wiretype");
+      }
+      declared_pins = checked_count(npins, "net");
+      if (chip.nets.size() >= static_cast<std::size_t>(kMaxCount)) {
+        parse_error("net record: too many nets");
+      }
       n.id = static_cast<int>(chip.nets.size());
       chip.nets.push_back(std::move(n));
       cur_net = &chip.nets.back();
       cur_pin = nullptr;
     } else if (tag == "pin") {
-      if (!cur_net) parse_error("pin outside net");
+      if (!cur_net) parse_error("pin record outside a net");
       RectL rl;
       ls >> rl.layer >> rl.r.xlo >> rl.r.ylo >> rl.r.xhi >> rl.r.yhi;
+      need_fields(ls, "pin");
+      check_layer(rl.layer, layers, "pin");
+      if (rl.r.xlo > rl.r.xhi || rl.r.ylo > rl.r.yhi) {
+        parse_error("pin record: inverted rect");
+      }
       if (!cur_pin) {
+        if (chip.pins.size() >= static_cast<std::size_t>(kMaxCount)) {
+          parse_error("pin record: too many pins");
+        }
         Pin p;
         p.id = static_cast<int>(chip.pins.size());
         p.net = cur_net->id;
@@ -101,12 +174,13 @@ Chip read_chip(std::istream& is) {
       }
       cur_pin->shapes.push_back(rl);
     } else if (tag == "endpin") {
+      if (cur_pin == nullptr) parse_error("endpin without open pin");
       cur_pin = nullptr;
     } else if (!tag.empty()) {
       parse_error("unknown record '" + tag + "'");
     }
   }
-  parse_error("missing endchip");
+  parse_error("missing endchip (truncated file)");
 }
 
 void write_result(std::ostream& os, const RoutingResult& result) {
@@ -134,42 +208,79 @@ RoutingResult read_result(std::istream& is) {
   {
     std::istringstream ls(expect_line(is, "nets"));
     std::string tag;
-    ls >> tag >> nets;
+    long long n = 0;
+    ls >> tag >> n;
+    need_fields(ls, "nets");
     if (tag != "nets") parse_error("nets line");
+    nets = checked_count(n, "nets");
   }
   RoutingResult result(static_cast<int>(nets));
   std::string line;
   RoutedPath* cur = nullptr;
+  std::size_t declared_w = 0, declared_v = 0;
+  auto close_path = [&]() {
+    if (cur != nullptr &&
+        (cur->wires.size() != declared_w || cur->vias.size() != declared_v)) {
+      parse_error("path record of net " + std::to_string(cur->net) +
+                  ": declared " + std::to_string(declared_w) + " wires / " +
+                  std::to_string(declared_v) + " vias but found " +
+                  std::to_string(cur->wires.size()) + " / " +
+                  std::to_string(cur->vias.size()));
+    }
+  };
   while (std::getline(is, line)) {
     std::istringstream ls(line);
     std::string tag;
     ls >> tag;
-    if (tag == "endresult") return result;
+    if (tag == "endresult") {
+      close_path();
+      return result;
+    }
     if (tag == "path") {
-      std::size_t net = 0, nw = 0, nv = 0;
+      close_path();
+      long long net = 0, nw = 0, nv = 0;
       int wt = 0;
       ls >> net >> wt >> nw >> nv;
-      if (net >= nets) parse_error("path net out of range");
+      need_fields(ls, "path");
+      if (net < 0 || net >= static_cast<long long>(nets)) {
+        parse_error("path record: net id " + std::to_string(net) +
+                    " out of range [0, " + std::to_string(nets) + ")");
+      }
+      declared_w = checked_count(nw, "path");
+      declared_v = checked_count(nv, "path");
+      if (wt < 0 || wt > 63) parse_error("path record: bad wiretype");
       RoutedPath p;
       p.net = static_cast<int>(net);
       p.wiretype = wt;
-      result.net_paths[net].push_back(std::move(p));
-      cur = &result.net_paths[net].back();
+      result.net_paths[static_cast<std::size_t>(net)].push_back(std::move(p));
+      cur = &result.net_paths[static_cast<std::size_t>(net)].back();
     } else if (tag == "w") {
-      if (!cur) parse_error("wire outside path");
+      if (!cur) parse_error("w record outside a path");
+      if (cur->wires.size() >= declared_w) {
+        parse_error("path record of net " + std::to_string(cur->net) +
+                    ": more wires than declared");
+      }
       WireStick w;
       ls >> w.layer >> w.a.x >> w.a.y >> w.b.x >> w.b.y;
+      need_fields(ls, "w");
+      if (w.layer < 0 || w.layer > 63) parse_error("w record: bad layer");
       cur->wires.push_back(w);
     } else if (tag == "v") {
-      if (!cur) parse_error("via outside path");
+      if (!cur) parse_error("v record outside a path");
+      if (cur->vias.size() >= declared_v) {
+        parse_error("path record of net " + std::to_string(cur->net) +
+                    ": more vias than declared");
+      }
       ViaStick v;
       ls >> v.below >> v.at.x >> v.at.y;
+      need_fields(ls, "v");
+      if (v.below < 0 || v.below > 62) parse_error("v record: bad layer");
       cur->vias.push_back(v);
     } else if (!tag.empty()) {
       parse_error("unknown record '" + tag + "'");
     }
   }
-  parse_error("missing endresult");
+  parse_error("missing endresult (truncated file)");
 }
 
 void save_chip(const std::string& path, const Chip& chip) {

@@ -1,7 +1,10 @@
 #include "src/detailed/net_router.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "src/geom/rect_union.hpp"
 #include "src/geom/rsmt.hpp"
@@ -149,8 +152,23 @@ std::vector<TrackVertex> path_vertices(const TrackGraph& tg,
 
 }  // namespace
 
+namespace {
+std::atomic<int> g_throw_on_net{-1};
+}  // namespace
+
+void NetRouter::testing_throw_on_net(int net) {
+  g_throw_on_net.store(net, std::memory_order_relaxed);
+}
+
 bool NetRouter::route_net(int net, const NetRouteParams& params,
                           DetailedStats* stats, int rip_depth) {
+  if (g_throw_on_net.load(std::memory_order_relaxed) == net) {
+    throw std::logic_error("injected failure routing net " +
+                           std::to_string(net));
+  }
+  const bool ladder =
+      params.attempt_deadline_s > 0 || params.attempt_pop_limit > 0;
+  if (ladder) return route_ladder(net, params, stats, rip_depth);
   // An enclosing transaction (cleanup rip+reroute, the scheduler, ECO) owns
   // the restore policy; otherwise route under our own transaction so a
   // failed attempt leaves the routing space exactly as it found it.
@@ -174,6 +192,67 @@ bool NetRouter::route_net(int net, const NetRouteParams& params,
     if (stats) ++stats->rollbacks;
   }
   return ok;
+}
+
+bool NetRouter::route_ladder(int net, const NetRouteParams& params,
+                             DetailedStats* stats, int rip_depth) {
+  // Bounded retry ladder: each rung runs under its own (possibly nested)
+  // transaction with a fresh per-attempt deadline / pop cap; a limit-induced
+  // failure rolls back and descends to a cheaper rung, a genuine failure
+  // (search space exhausted) exits at once — a weaker rung cannot succeed
+  // where a stronger one legitimately failed.
+  for (int rung = 0; rung < 3; ++rung) {
+    NetRouteParams p = params;
+    p.attempt_deadline_s = 0;  // no ladder recursion
+    p.attempt_pop_limit = 0;
+    if (rung >= 1) {
+      // Reduced rip-up radius: route around blockers instead of cascading.
+      p.max_rip_depth = 0;
+      p.search.allowed_ripup = 0;
+    }
+    if (rung >= 2) {
+      // Cheapest rung: tight corridor, no off-track π_P refinement, and a
+      // quarter of the pop cap.
+      p.corridor_halo = 0;
+      p.use_pi_p = false;
+    }
+    Deadline attempt =
+        params.attempt_deadline_s > 0
+            ? Deadline::after_seconds(params.attempt_deadline_s)
+            : Deadline::never();
+    bool limit = false;
+    p.search.attempt_deadline = &attempt;
+    p.search.limit_hit = &limit;
+    if (params.attempt_pop_limit > 0) {
+      std::int64_t cap = params.attempt_pop_limit;
+      if (rung >= 2) cap = std::max<std::int64_t>(1, cap / 4);
+      p.search.max_pops = std::min(p.search.max_pops, cap);
+    }
+    RoutingTransaction txn(*rs_);
+    const bool ok = connect_components(net, p, stats, rip_depth,
+                                       p.search.allowed_ripup);
+    if (ok) {
+      if (stats) {
+        stats->dirty.merge(txn.dirty());
+        stats->touched_nets.insert(stats->touched_nets.end(),
+                                   txn.touched_nets().begin(),
+                                   txn.touched_nets().end());
+      }
+      txn.commit();
+      return true;
+    }
+    txn.rollback();
+    if (stats) ++stats->rollbacks;
+    // Only descend when the failure was limit-induced (and the flow budget
+    // itself has not tripped — then the scheduler defers, not the ladder).
+    const bool limit_induced = limit || attempt.expired();
+    if (!limit_induced) return false;
+    if (params.budget != nullptr && params.budget->stopped()) return false;
+    if (stats && rung < 2) ++stats->ladder_retries;
+    static obs::Counter& c_ladder = obs::counter("detailed.ladder_retries");
+    if (rung < 2) c_ladder.add();
+  }
+  return false;  // ladder exhausted: leave the net open
 }
 
 bool NetRouter::connect_components(int net, const NetRouteParams& params,
@@ -715,6 +794,11 @@ void NetRouter::precompute_access(const NetRouteParams& params) {
 
   DetailedShared& sh = *shared_;
   for (const auto& cluster : clusters) {
+    // Budget poll per cluster: access precompute runs before anything else
+    // in the flow, so a short deadline must be able to stop it mid-way.
+    // Skipped clusters only matter to an interrupted run (which defers all
+    // its nets anyway); a resume replays the precompute from scratch.
+    if (params.budget != nullptr && params.budget->stopped()) break;
     std::vector<std::vector<AccessPath>> cats;
     std::vector<int> pids;
     for (int pid : cluster) {

@@ -18,6 +18,7 @@
 #include "src/detailed/transaction.hpp"
 #include "src/detailed/vertex_search.hpp"
 #include "src/global/global_router.hpp"
+#include "src/util/error.hpp"
 
 namespace bonn {
 
@@ -47,15 +48,33 @@ struct NetRouteParams {
   /// final verification still sees violations — connectivity first, the
   /// external DRC cleanup deals with the remainder.
   bool commit_despite_violations = false;
+  // --- fault-tolerance knobs: ---
+  /// Flow budget, polled at net granularity by the scheduler and inside the
+  /// search pop loop; nullptr = unlimited.
+  const Budget* budget = nullptr;
+  /// Per-net attempt caps for the bounded retry ladder (full search → no
+  /// rip-up → tight corridor → leave open), so one pathological net cannot
+  /// stall a window.  An attempt that exhausts its wall-clock deadline or
+  /// its search-pop cap rolls back and retries one rung down; genuine
+  /// (non-limit) failures exit the ladder immediately.  0 disables.  The
+  /// pop cap is deterministic; the wall-clock deadline is not — use the pop
+  /// cap where bit-identical results matter.
+  double attempt_deadline_s = 0;
+  std::int64_t attempt_pop_limit = 0;
 };
 
 struct DetailedStats {
   int connections_routed = 0;
   int connections_failed = 0;
   int nets_failed = 0;
+  int nets_deferred = 0;   ///< skipped because the budget had tripped
+  int ladder_retries = 0;  ///< retry-ladder rungs descended
   int ripups = 0;          ///< nets ripped and rerouted
   int pi_p_used = 0;       ///< searches that enabled the π_P refinement
   int rollbacks = 0;       ///< routing transactions rolled back
+  /// Per-net failures recovered at the attempt boundary (capped; see
+  /// append_error) — internal invariant violations unwound by rollback.
+  std::vector<FlowError> errors;
   DirtyRegion dirty;       ///< union of all committed transactions' regions
   std::vector<int> touched_nets;  ///< nets whose recorded paths changed
   SearchStats search;
@@ -149,6 +168,12 @@ class NetRouter {
   /// and assigns the net to a window only if the result fits inside.
   Rect net_reach_core(int net, int halo) const;
 
+  /// Fault injection for the recoverable-error tests: route_net throws
+  /// std::logic_error when asked to route `net` (-1 disarms).  The
+  /// scheduler must unwind that net's transaction and mark the net failed
+  /// instead of killing the process.
+  static void testing_throw_on_net(int net);
+
  private:
   struct CompSource {
     SearchSource src;
@@ -162,6 +187,11 @@ class NetRouter {
   bool connect_components(int net, const NetRouteParams& params,
                           DetailedStats* stats, int rip_depth,
                           RipupLevel allowed_ripup, bool entry = true);
+
+  /// Bounded retry ladder (fault tolerance): route_net delegates here when
+  /// a per-attempt deadline or pop cap is configured.
+  bool route_ladder(int net, const NetRouteParams& params,
+                    DetailedStats* stats, int rip_depth);
 
   RoutingSpace* rs_;
   PinAccess access_;

@@ -512,7 +512,17 @@ struct Engine {
     while (!pq.empty()) {
       const auto [key, lid] = pq.top();
       pq.pop();
-      if (++local_stats.pops > params->max_pops) break;
+      if (++local_stats.pops > params->max_pops) {
+        if (params->limit_hit != nullptr) *params->limit_hit = true;
+        break;
+      }
+      if ((local_stats.pops & 1023) == 0 &&
+          ((params->budget != nullptr && params->budget->stopped()) ||
+           (params->attempt_deadline != nullptr &&
+            params->attempt_deadline->expired()))) {
+        if (params->limit_hit != nullptr) *params->limit_hit = true;
+        break;
+      }
       if (!labels[static_cast<std::size_t>(lid)].induced) {
         induce_along(lid);
         induce_jogs(lid);

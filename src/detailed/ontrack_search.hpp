@@ -23,6 +23,7 @@
 #include "src/detailed/future_cost.hpp"
 #include "src/detailed/routing_space.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/budget.hpp"
 
 namespace bonn {
 
@@ -61,6 +62,16 @@ struct SearchParams {
   Coord via_cost = 400;          ///< γ: cost per via
   Coord rip_penalty = 3000;      ///< entering an interval that needs ripup
   std::int64_t max_pops = 2'000'000;  ///< search abort bound
+  /// Flow budget, polled every ~1024 pops: a tripped budget aborts the
+  /// search like an exhausted pop bound.  nullptr = unlimited.
+  const Budget* budget = nullptr;
+  /// Per-attempt deadline (the NetRouter retry ladder): checked alongside
+  /// the budget poll.  nullptr = none.
+  const Deadline* attempt_deadline = nullptr;
+  /// Out-parameter: set to true when the search aborted on a resource limit
+  /// (pop bound, budget or attempt deadline) rather than exhausting the
+  /// graph — the retry ladder only descends on limit-induced failures.
+  bool* limit_hit = nullptr;
 };
 
 struct SearchSource {

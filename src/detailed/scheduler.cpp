@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <stdexcept>
+
 #include "src/detailed/transaction.hpp"
+#include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
@@ -26,6 +29,9 @@ void merge_stats(DetailedStats& into, const DetailedStats& s) {
   into.connections_routed += s.connections_routed;
   into.connections_failed += s.connections_failed;
   into.nets_failed += s.nets_failed;
+  into.nets_deferred += s.nets_deferred;
+  into.ladder_retries += s.ladder_retries;
+  for (const FlowError& e : s.errors) append_error(into.errors, e);
   into.ripups += s.ripups;
   into.pi_p_used += s.pi_p_used;
   into.rollbacks += s.rollbacks;
@@ -108,8 +114,21 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
     NetRouteParams p = params;
     if (pass == 1) p.search.allowed_ripup = 0;
     RoutingTransaction txn(*rs_);
-    if (rip_first) r->rip_net_tracked(net);
-    const bool ok = r->route_net(net, p, stats, rip_depth);
+    bool ok = false;
+    try {
+      if (rip_first) r->rip_net_tracked(net);
+      ok = r->route_net(net, p, stats, rip_depth);
+    } catch (const std::exception& e) {
+      // Recoverable error model: an internal invariant failure inside a net
+      // attempt unwinds that net's transaction and marks the net failed —
+      // it must never kill the flow.
+      ok = false;
+      static obs::Counter& c_err = obs::counter("detailed.net_attempt_errors");
+      c_err.add();
+      BONN_LOGF(obs::LogLevel::kWarn, "net %d attempt failed: %s", net,
+                e.what());
+      if (stats) append_error(stats->errors, {"net_attempt", e.what(), net});
+    }
     if (!ok) {
       // Restore-on-failure: the rip (if any) and all partial progress are
       // undone, so a failed cleanup/ECO reroute never converts a routed net
@@ -138,10 +157,20 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
 }
 
 int DetailedScheduler::route_nets(const std::vector<int>& nets,
-                                  const NetRouteParams& params,
+                                  const NetRouteParams& base_params,
                                   DetailedStats* stats, bool rip_first,
                                   int rip_depth) {
   if (nets.empty()) return 0;
+  NetRouteParams params = base_params;
+  // The flow budget is polled at net granularity here and inside the search
+  // pop loop; a deferred net counts as neither routed nor failed.
+  params.search.budget = params.budget;
+  const Budget* budget = params.budget;
+  auto defer = [&](std::size_t remaining) {
+    if (stats) stats->nets_deferred += static_cast<int>(remaining);
+    static obs::Counter& c_defer = obs::counter("detailed.nets_deferred");
+    c_defer.add(static_cast<std::int64_t>(remaining));
+  };
   const Chip& chip = rs_->chip();
   const Coord margin = window_margin(params);
   if (maybe_open_.size() != chip.nets.size()) {
@@ -166,7 +195,12 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
   if (pass.dx * pass.dy == 1) {
     // One window covering the die: the mask would admit every net, so this
     // is exactly the plain sequential loop.
-    for (int net : nets) {
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (budget != nullptr && budget->stopped()) {
+        defer(nets.size() - i);
+        break;
+      }
+      const int net = nets[i];
       if (!rip_first && owner_->net_connected(net)) {
         maybe_open_[static_cast<std::size_t>(net)] = 0;
         continue;
@@ -196,6 +230,7 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
     std::vector<char> mask;       ///< rippable victims for this window
     std::vector<int> failed;      ///< retried in the serial phase
     DetailedStats local;
+    bool ran = false;  ///< false when the budget stopped the task entirely
   };
   std::vector<int> task_of_window(static_cast<std::size_t>(pass.dx * pass.dy),
                                   -1);
@@ -235,10 +270,16 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
     auto run_task = [&](std::size_t i) {
       BONN_TRACE_SPAN("detailed.window");
       WindowTask& wt = tasks[i];
+      wt.ran = true;
       NetRouter* r = checkout_worker();
       NetRouteParams wp = params;
       wp.rip_allowed = &wt.mask;
-      for (int net : wt.nets) {
+      for (std::size_t k = 0; k < wt.nets.size(); ++k) {
+        if (budget != nullptr && budget->stopped()) {
+          wt.local.nets_deferred += static_cast<int>(wt.nets.size() - k);
+          break;
+        }
+        const int net = wt.nets[k];
         if (!rip_first && r->net_connected(net)) {
           maybe_open_[static_cast<std::size_t>(net)] = 0;
           continue;
@@ -250,9 +291,12 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
       return_worker(r);
     };
     if (pool_) {
-      pool_->parallel_for(tasks.size(), run_task);
+      pool_->parallel_for(tasks.size(), run_task, /*grain=*/1, budget);
     } else {
-      for (std::size_t i = 0; i < tasks.size(); ++i) run_task(i);
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (budget != nullptr && budget->stopped()) break;
+        run_task(i);
+      }
     }
     rs_->set_concurrent(false);
   }
@@ -261,6 +305,7 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
   std::vector<char> failed_in_window(N, 0);
   std::size_t window_failures = 0;
   for (WindowTask& wt : tasks) {
+    if (!wt.ran) defer(wt.nets.size());  // budget stopped before this task
     if (stats) merge_stats(*stats, wt.local);
     for (int net : wt.failed) {
       failed_in_window[static_cast<std::size_t>(net)] = 1;
@@ -274,10 +319,16 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
   // now that no other window is in flight), in the pass's global order.
   // A failed window attempt rolled back, so with rip_first the net's old
   // wiring is in place again and the serial retry rips it once more.
+  bool stopped = false;
   for (int net : nets) {
     const std::size_t n = static_cast<std::size_t>(net);
     const bool is_cross = win_of[n] < 0;
     if (!is_cross && !failed_in_window[n]) continue;
+    if (stopped || (budget != nullptr && budget->stopped())) {
+      stopped = true;
+      defer(1);
+      continue;
+    }
     if (!rip_first && owner_->net_connected(net)) {
       maybe_open_[n] = 0;
       continue;
@@ -303,6 +354,7 @@ void DetailedScheduler::route_all(const NetRouteParams& params,
   int failed = 0;
   for (int round = 0; round < params.rounds; ++round) {
     BONN_TRACE_SPAN("detailed.round");
+    if (params.budget != nullptr && params.budget->stopped()) break;
     NetRouteParams rp = params;
     rp.search.allowed_ripup =
         round == 0 ? 0 : (round == 1 ? kStandard : kCritical);

@@ -141,7 +141,17 @@ std::optional<FoundPath> VertexSearch::run(
     auto& ns = nodes[key];
     if (ns.settled) continue;
     ns.settled = true;
-    if (++local.pops > params.max_pops) break;
+    if (++local.pops > params.max_pops) {
+      if (params.limit_hit != nullptr) *params.limit_hit = true;
+      break;
+    }
+    if ((local.pops & 1023) == 0 &&
+        ((params.budget != nullptr && params.budget->stopped()) ||
+         (params.attempt_deadline != nullptr &&
+          params.attempt_deadline->expired()))) {
+      if (params.limit_hit != nullptr) *params.limit_hit = true;
+      break;
+    }
     ++local.station_expansions;
     const TrackVertex v = verts[key];
 

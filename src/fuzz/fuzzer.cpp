@@ -383,8 +383,20 @@ class Driver {
         fp.threads = 1;
         fp.run_cleanup = false;
         fp.obs.metrics = false;
+        // Cancel-at-random-step: every fourth ECO runs under a budget that
+        // deterministically trips after a few polls, exercising the
+        // wind-down path mid-reroute.  The invariants below must hold for
+        // the partial result exactly as for a completed one — every net
+        // either kept its prior wiring or rerouted transactionally.
+        if (op.d % 4 == 0) {
+          fp.budget.poll_trip = static_cast<std::int64_t>(op.c % 64);
+        }
         RoutingResult out(chip_->num_nets());
-        reroute_nets(*chip_, prior, sel, fp, &out);
+        const EcoReport eco = reroute_nets(*chip_, prior, sel, fp, &out);
+        if (eco.outcome == FlowOutcome::kFailed)
+          return "eco reroute failed on valid inputs: " +
+                 (eco.errors.empty() ? std::string("(no errors)")
+                                     : eco.errors.front().message);
         rs_->load_result(out);
         // Rebuild the shadow model from scratch: fixed + raw survive the
         // reload; recorded wiring is replaced wholesale, ids restart at 0.

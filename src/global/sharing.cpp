@@ -8,6 +8,7 @@
 
 #include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/budget.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/timer.hpp"
 
@@ -185,11 +186,19 @@ FractionalSolution ResourceSharing::run(
       std::clamp<std::size_t>(N / 8, 16, 256);  // function of N only
 
   BONN_TRACE_SPAN("global.sharing");
-  for (int phase = 0; phase < params.phases; ++phase) {
+  int phases_done = 0;
+  bool stopped_early = false;
+  for (int phase = 0; phase < params.phases && !stopped_early; ++phase) {
     BONN_TRACE_SPAN("global.sharing.phase");
     if (params.deterministic) {
       for (std::size_t lo = 0; lo < N; lo += chunk) {
         run_chunk(lo, std::min(N, lo + chunk), phase);
+        // Budget check at the chunk boundary: the chunk just folded stays —
+        // every stop point is a deterministic prefix of the chunk sequence.
+        if (params.budget != nullptr && params.budget->stopped()) {
+          stopped_early = true;
+          break;
+        }
       }
     } else if (pool) {
       // Shard nets across threads; prices are shared and updated under a
@@ -202,6 +211,10 @@ FractionalSolution ResourceSharing::run(
       });
     } else {
       for (std::size_t n = 0; n < N; ++n) handle_net(n, phase, ws[0]);
+    }
+    if (!stopped_early) ++phases_done;
+    if (params.budget != nullptr && params.budget->stopped()) {
+      stopped_early = true;
     }
     // λ trajectory (Fig. 1-style convergence evidence): with y_r = e^{ε·Σg},
     // the usage of r averaged over the phases so far is ln(y_r)/(ε·phases),
@@ -229,6 +242,8 @@ FractionalSolution ResourceSharing::run(
     stats->seconds = timer.seconds();
     stats->oracle_calls = oracle_->calls();
     stats->reuses = reuses;
+    stats->phases_done = phases_done;
+    stats->stopped_early = stopped_early;
     // λ of the fractional solution: max over resources of total usage.
     std::vector<double> usage(static_cast<std::size_t>(R), 0.0);
     for (std::size_t n = 0; n < N; ++n) {

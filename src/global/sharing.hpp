@@ -16,6 +16,8 @@
 
 namespace bonn {
 
+class Budget;
+
 struct SharingParams {
   int phases = 8;          ///< t (paper default 125; scaled-down instances
                            ///< converge much earlier, see bench_ablations)
@@ -31,6 +33,11 @@ struct SharingParams {
   /// legacy behaviour is kept: sequential Gauss-Seidel at threads == 1,
   /// volatility-tolerant shared prices (racy reads, §5.1) at threads > 1.
   bool deterministic = false;
+  /// Optional execution budget.  Polled at chunk boundaries (deterministic
+  /// mode) or between phases: on a trip the solver finishes the current
+  /// chunk, stops, and returns whatever convex combinations it has — the
+  /// rounding stage copes with nets that never received a solution.
+  const Budget* budget = nullptr;
 };
 
 struct SharingStats {
@@ -38,6 +45,8 @@ struct SharingStats {
   std::uint64_t oracle_calls = 0;
   std::uint64_t reuses = 0;
   double lambda = 0;  ///< max_r Σ_n g_n^r of the fractional solution
+  int phases_done = 0;        ///< full phases completed
+  bool stopped_early = false; ///< budget tripped before params.phases ran
 };
 
 /// Convex combination per net: distinct solutions with weights summing to 1.

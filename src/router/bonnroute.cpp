@@ -3,7 +3,9 @@
 #include "src/router/track_assign.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <thread>
 
 #include "src/detailed/scheduler.hpp"
@@ -12,6 +14,8 @@
 #include "src/obs/trace.hpp"
 #include "src/router/run_report.hpp"
 #include "src/util/assert.hpp"
+#include "src/util/env.hpp"
+#include "src/util/hash.hpp"
 #include "src/util/timer.hpp"
 
 namespace bonn {
@@ -64,6 +68,8 @@ class FlowObs {
       obs::gauge("router.drc_errors")
           .set(static_cast<double>(report.drc.errors()));
       obs::counter("router.preroute_nets").add(report.preroute_nets);
+      obs::gauge("router.outcome")
+          .set(static_cast<double>(static_cast<int>(report.outcome)));
     }
     // The whole-flow span is emitted here, not via BONN_TRACE_SPAN: a scoped
     // span would only close after stop() has already written the file.
@@ -145,12 +151,12 @@ int preroute_local_nets(const Chip& chip, DetailedScheduler& sched,
   return static_cast<int>(local_nets.size()) - failed;
 }
 
-/// Resolve the worker-thread count: BONN_THREADS overrides FlowParams, and
-/// 0 means auto-detect from the hardware.
+/// Resolve the worker-thread count: BONN_THREADS overrides FlowParams
+/// (strictly parsed — garbage falls back with a warning), and 0 means
+/// auto-detect from the hardware.
 int resolve_threads(int requested) {
-  if (const char* env = std::getenv("BONN_THREADS")) {
-    const int v = std::atoi(env);
-    if (v >= 0) requested = v;
+  if (auto v = env_int("BONN_THREADS", 0, 4096)) {
+    requested = static_cast<int>(*v);
   }
   if (requested == 0) {
     requested = static_cast<int>(std::thread::hardware_concurrency());
@@ -158,88 +164,457 @@ int resolve_threads(int requested) {
   return std::max(requested, 1);
 }
 
+/// Budget limits with the BONN_DEADLINE_S / BONN_MEM_GB overrides applied.
+BudgetParams budget_with_env(BudgetParams bp) {
+  if (auto v = env_double("BONN_DEADLINE_S", 1e-3, 1e9)) bp.deadline_s = *v;
+  if (auto v = env_double("BONN_MEM_GB", 1e-3, 1e6)) bp.memory_gb = *v;
+  return bp;
+}
+
+Deadline flow_deadline(const BudgetParams& bp) {
+  return bp.deadline_s > 0 ? Deadline::after_seconds(bp.deadline_s)
+                           : Deadline::never();
+}
+
+MemoryBudget flow_memory(const BudgetParams& bp) {
+  return bp.memory_gb > 0 ? MemoryBudget::of_gb(bp.memory_gb)
+                          : MemoryBudget();
+}
+
+FlowOutcome outcome_of(StopReason reason) {
+  return reason == StopReason::kCancelled ? FlowOutcome::kCancelled
+                                          : FlowOutcome::kBudgetExhausted;
+}
+
+std::string checkpoint_destination(const FlowParams& params) {
+  if (!params.checkpoint_path.empty()) return params.checkpoint_path;
+  if (const char* env = std::getenv("BONN_CHECKPOINT")) return env;
+  return {};
+}
+
+void check_range(std::vector<FlowError>& errors, bool ok, const char* code,
+                 const std::string& message) {
+  if (!ok) append_error(errors, {code, message, -1});
+}
+
+}  // namespace
+
+std::vector<FlowError> validate_flow_params(const FlowParams& p) {
+  std::vector<FlowError> errors;
+  check_range(errors, p.tiles_x >= 0 && p.tiles_y >= 0 &&
+                          p.tiles_x <= 100'000 && p.tiles_y <= 100'000,
+              "params.tiles", "tile counts must be in [0, 100000]");
+  check_range(errors, (p.tiles_x > 0) == (p.tiles_y > 0), "params.tiles",
+              "specify both tiles_x and tiles_y, or neither (0 = auto)");
+  check_range(errors, p.threads >= 0 && p.threads <= 4096, "params.threads",
+              "threads must be in [0, 4096] (0 = auto-detect)");
+  const SharingParams& sh = p.global.sharing;
+  check_range(errors, sh.phases >= 1 && sh.phases <= 100'000,
+              "params.sharing_phases", "sharing phases must be in [1, 1e5]");
+  check_range(errors, std::isfinite(sh.epsilon) && sh.epsilon > 0,
+              "params.sharing_epsilon", "sharing epsilon must be finite, > 0");
+  check_range(errors, std::isfinite(sh.reuse_slack) && sh.reuse_slack > 0,
+              "params.reuse_slack", "reuse slack must be finite, > 0");
+  const RoundingParams& ro = p.global.rounding;
+  check_range(errors, ro.rechoose_passes >= 0 && ro.reroute_rounds >= 0,
+              "params.rounding", "rounding pass counts must be >= 0");
+  check_range(errors,
+              std::isfinite(ro.overflow_price) && ro.overflow_price >= 0,
+              "params.overflow_price",
+              "overflow price must be finite, >= 0");
+  check_range(errors, p.global.max_extra_space >= 0, "params.extra_space",
+              "max_extra_space must be >= 0");
+  check_range(errors,
+              std::isfinite(p.global.detour_bound) &&
+                  p.global.detour_bound >= 0,
+              "params.detour_bound", "detour bound must be finite, >= 0");
+  const NetRouteParams& d = p.detailed;
+  check_range(errors, d.search.max_pops >= 1, "params.max_pops",
+              "search pop bound must be >= 1");
+  check_range(errors,
+              d.search.jog_penalty >= 0 && d.search.via_cost >= 0 &&
+                  d.search.rip_penalty >= 0,
+              "params.search_costs", "search costs must be >= 0");
+  check_range(errors, d.corridor_halo >= 0 && d.corridor_halo <= 1000,
+              "params.corridor_halo", "corridor halo must be in [0, 1000]");
+  check_range(errors, d.max_rip_depth >= 0 && d.max_rip_depth <= 64,
+              "params.rip_depth", "rip-up depth must be in [0, 64]");
+  check_range(errors, d.rounds >= 1 && d.rounds <= 100, "params.rounds",
+              "escalation rounds must be in [1, 100]");
+  check_range(errors,
+              std::isfinite(d.detour_for_pi_p) && d.detour_for_pi_p > 0,
+              "params.detour_for_pi_p",
+              "detour_for_pi_p must be finite, > 0");
+  check_range(errors,
+              std::isfinite(d.attempt_deadline_s) && d.attempt_deadline_s >= 0,
+              "params.attempt_deadline",
+              "per-net attempt deadline must be finite, >= 0 (0 = off)");
+  check_range(errors, d.attempt_pop_limit >= 0, "params.attempt_pop_limit",
+              "per-net attempt pop limit must be >= 0 (0 = off)");
+  const PinAccessParams& a = d.access;
+  check_range(errors, a.window_radius > 0, "params.access_window",
+              "pin-access window radius must be > 0");
+  check_range(errors,
+              a.max_targets >= 1 && a.max_paths >= 1 && a.access_layers >= 1,
+              "params.access_counts",
+              "pin-access target/path/layer counts must be >= 1");
+  check_range(errors, p.cleanup.max_reroutes >= 0 && p.cleanup.passes >= 0,
+              "params.cleanup", "cleanup pass/reroute counts must be >= 0");
+  const BudgetParams& b = p.budget;
+  check_range(errors, std::isfinite(b.deadline_s) && std::isfinite(b.memory_gb),
+              "params.budget", "budget limits must be finite");
+  return errors;
+}
+
+std::uint64_t flow_params_digest(const FlowParams& p) {
+  // Only result-affecting knobs enter the digest.  Excluded on purpose:
+  // threads (the flow is bit-identical at any count), obs, budget limits,
+  // checkpoint_path, and isr_global (the BonnRoute flow never reads it).
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_i64(h, p.tiles_x);
+  h = fnv1a_i64(h, p.tiles_y);
+  h = fnv1a_i64(h, p.global.sharing.phases);
+  h = fnv1a_double(h, p.global.sharing.epsilon);
+  h = fnv1a_i64(h, p.global.sharing.oracle_reuse ? 1 : 0);
+  h = fnv1a_double(h, p.global.sharing.reuse_slack);
+  h = fnv1a_u64(h, p.global.rounding.seed);
+  h = fnv1a_i64(h, p.global.rounding.rechoose_passes);
+  h = fnv1a_i64(h, p.global.rounding.reroute_rounds);
+  h = fnv1a_double(h, p.global.rounding.overflow_price);
+  h = fnv1a_i64(h, p.global.max_extra_space);
+  h = fnv1a_double(h, p.global.detour_bound);
+  const SearchParams& s = p.detailed.search;
+  h = fnv1a_i64(h, static_cast<std::int64_t>(s.allowed_ripup));
+  h = fnv1a_i64(h, s.jog_penalty);
+  h = fnv1a_i64(h, s.via_cost);
+  h = fnv1a_i64(h, s.rip_penalty);
+  h = fnv1a_i64(h, s.max_pops);
+  const PinAccessParams& a = p.detailed.access;
+  h = fnv1a_i64(h, a.wiretype);
+  h = fnv1a_i64(h, a.window_radius);
+  h = fnv1a_i64(h, a.max_targets);
+  h = fnv1a_i64(h, a.max_paths);
+  h = fnv1a_i64(h, a.via_cost);
+  h = fnv1a_i64(h, a.access_layers);
+  h = fnv1a_i64(h, a.layer_bonus);
+  h = fnv1a_i64(h, a.endpoint_wiretype);
+  h = fnv1a_i64(h, a.ignore_rippable ? 1 : 0);
+  h = fnv1a_i64(h, p.detailed.corridor_halo);
+  h = fnv1a_i64(h, p.detailed.max_rip_depth);
+  h = fnv1a_i64(h, p.detailed.rounds);
+  h = fnv1a_double(h, p.detailed.detour_for_pi_p);
+  h = fnv1a_i64(h, p.detailed.vertex_search ? 1 : 0);
+  h = fnv1a_i64(h, p.detailed.greedy_access ? 1 : 0);
+  h = fnv1a_i64(h, p.detailed.use_pi_p ? 1 : 0);
+  h = fnv1a_i64(h, p.detailed.layer_corridor ? 1 : 0);
+  h = fnv1a_i64(h, p.detailed.commit_despite_violations ? 1 : 0);
+  h = fnv1a_double(h, p.detailed.attempt_deadline_s);
+  h = fnv1a_i64(h, p.detailed.attempt_pop_limit);
+  h = fnv1a_i64(h, p.cleanup.max_reroutes);
+  h = fnv1a_i64(h, p.cleanup.passes);
+  h = fnv1a_i64(h, p.run_cleanup ? 1 : 0);
+  return h;
+}
+
+std::vector<FlowError> validate_checkpoint(const Chip& chip,
+                                           const FlowParams& params,
+                                           const Checkpoint& ck) {
+  std::vector<FlowError> errors;
+  if (ck.version != Checkpoint::kVersion) {
+    append_error(errors,
+                 {"checkpoint.version",
+                  "checkpoint version " + std::to_string(ck.version) +
+                      " unsupported (this build resumes v" +
+                      std::to_string(Checkpoint::kVersion) + ")",
+                  -1});
+  }
+  if (ck.chip_hash != chip_digest(chip)) {
+    append_error(errors,
+                 {"checkpoint.chip_mismatch",
+                  "checkpoint was written for a different chip "
+                  "(content digest mismatch)",
+                  -1});
+  }
+  if (ck.params_digest != flow_params_digest(params)) {
+    append_error(errors,
+                 {"checkpoint.params_mismatch",
+                  "result-affecting flow parameters differ from the "
+                  "checkpointed run; resuming would not reproduce it",
+                  -1});
+  }
+  const int phase = static_cast<int>(ck.phase);
+  if (phase < 0 || phase > static_cast<int>(FlowPhase::kDetailedDone)) {
+    append_error(errors,
+                 {"checkpoint.phase",
+                  "phase " + std::to_string(phase) + " out of range", -1});
+    return errors;  // the phase checks below would be meaningless
+  }
+  if (ck.state_digest != checkpoint_state_digest(ck)) {
+    append_error(errors,
+                 {"checkpoint.digest",
+                  "state digest mismatch (corrupt or edited checkpoint)",
+                  -1});
+  }
+  if (ck.phase >= FlowPhase::kGlobalDone &&
+      ck.routes.size() != chip.nets.size()) {
+    append_error(errors,
+                 {"checkpoint.routes",
+                  "checkpoint at phase " + std::string(to_string(ck.phase)) +
+                      " carries " + std::to_string(ck.routes.size()) +
+                      " global routes but the chip has " +
+                      std::to_string(chip.nets.size()) + " nets",
+                  -1});
+  }
+  if (!ck.net_routed.empty() && ck.net_routed.size() != chip.nets.size()) {
+    append_error(errors,
+                 {"checkpoint.net_status",
+                  "per-net status length " +
+                      std::to_string(ck.net_routed.size()) +
+                      " does not match the net count",
+                  -1});
+  }
+  if (!ck.base.net_paths.empty()) {
+    for (FlowError& e : validate_result(chip, ck.base)) {
+      append_error(errors, std::move(e));
+    }
+  }
+  return errors;
+}
+
+namespace {
+
+/// Shared body of run_bonnroute_flow and resume_flow.  `resume` == nullptr
+/// is a fresh run; otherwise completed phases are reloaded from the
+/// checkpoint and only the remaining ones execute.
+FlowReport bonnroute_impl(const Chip& chip, const FlowParams& params,
+                          RoutingResult* out, const Checkpoint* resume) {
+  Timer total;
+  FlowObs flow_obs("bonnroute", "flow.bonnroute", params.obs);
+  FlowReport report;
+
+  // Fail fast on malformed inputs: every downstream stage may then assume a
+  // structurally sound chip, parameters and checkpoint.
+  for (FlowError& e : validate_chip(chip)) {
+    append_error(report.errors, std::move(e));
+  }
+  for (FlowError& e : validate_flow_params(params)) {
+    append_error(report.errors, std::move(e));
+  }
+  if (resume != nullptr) {
+    for (FlowError& e : validate_checkpoint(chip, params, *resume)) {
+      append_error(report.errors, std::move(e));
+    }
+  }
+  if (!report.errors.empty()) {
+    report.outcome = FlowOutcome::kFailed;
+    report.total_seconds = total.seconds();
+    flow_obs.finish(report);
+    return report;
+  }
+
+  const BudgetParams bp = budget_with_env(params.budget);
+  Budget budget(flow_deadline(bp), flow_memory(bp), bp.cancel);
+  budget.set_poll_trip(bp.poll_trip);
+  const std::string ckpt_path = checkpoint_destination(params);
+
+  try {
+    auto [nx, ny] = params.tiles_x > 0
+                        ? std::pair<int, int>{params.tiles_x, params.tiles_y}
+                        : auto_tiles(chip);
+    const int threads = resolve_threads(params.threads);
+    RoutingSpace rs(chip);
+    NetRouter router(rs);
+    DetailedScheduler sched(router, threads);
+
+    std::vector<SteinerSolution> routes;
+    std::vector<std::pair<Rect, Coord>> zones;
+
+    // Interrupted: freeze the last *completed* phase boundary into a
+    // checkpoint, persist it if a path is configured, and return the
+    // best-effort partial routing currently in the routing space.
+    auto interrupt = [&](FlowPhase phase, const RoutingResult* base) {
+      const StopReason reason = budget.stop_reason();
+      report.stop_reason = reason;
+      report.outcome = outcome_of(reason);
+      static obs::Counter& interrupts = obs::counter("router.flow_interrupts");
+      interrupts.add();
+      auto ck = std::make_shared<Checkpoint>();
+      ck->chip_hash = chip_digest(chip);
+      ck->params_digest = flow_params_digest(params);
+      ck->phase = phase;
+      if (phase >= FlowPhase::kGlobalDone) {
+        ck->routes = routes;
+        ck->spread_zones = zones;
+      }
+      ck->base = base != nullptr ? *base : rs.result();
+      ck->net_routed.assign(chip.nets.size(), 0);
+      for (const Net& n : chip.nets) {
+        ck->net_routed[static_cast<std::size_t>(n.id)] =
+            router.net_connected(n.id) ? 1 : 0;
+      }
+      ck->state_digest = checkpoint_state_digest(*ck);
+      report.checkpoint = ck;
+      if (!ckpt_path.empty()) {
+        try {
+          save_checkpoint(ckpt_path, *ck);
+        } catch (const std::exception& e) {
+          BONN_LOGF(obs::LogLevel::kWarn, "failed to save checkpoint: %s",
+                    e.what());
+          append_error(report.errors, {"checkpoint.save", e.what(), -1});
+        }
+      }
+      report.total_seconds = total.seconds();
+      finalize_report(chip, rs, report, out);
+      for (const FlowError& e : report.detailed.errors) {
+        append_error(report.errors, e);
+      }
+      flow_obs.finish(report);
+      return report;
+    };
+
+    NetRouteParams dp = params.detailed;
+    dp.budget = &budget;
+
+    const bool from_detailed_done =
+        resume != nullptr && resume->phase >= FlowPhase::kDetailedDone;
+    std::optional<GlobalRouter> gr;
+
+    if (from_detailed_done) {
+      // All wiring — including the committed pin-access paths — is in the
+      // checkpoint base; reloading it reconstructs the exact routing-space
+      // state at the detailed-done boundary.  The global router is rebuilt
+      // for its corridor geometry only (tile grid), never re-routed.
+      BONN_TRACE_SPAN("router.resume_load");
+      rs.load_result(resume->base);
+      gr.emplace(chip, rs.tg(), rs.fast(), nx, ny);
+      routes = resume->routes;
+      zones = resume->spread_zones;
+      router.set_global(&*gr, &routes);
+      router.set_spread_zones(std::vector<std::pair<Rect, Coord>>(zones));
+    } else {
+      // §4.3 preprocessing first: access reservations consume routing space
+      // and must be visible to the §2.5 capacity estimation.  A resume at
+      // kStart/kGlobalDone replays this deterministically — the global
+      // capacities depend on it.
+      {
+        BONN_TRACE_SPAN("detailed.precompute_access");
+        router.precompute_access(dp);  // dp carries the flow budget
+      }
+      {
+        BONN_TRACE_SPAN("router.preroute_local_nets");
+        report.preroute_nets =
+            preroute_local_nets(chip, sched, dp, nx, ny, &report.detailed);
+      }
+      if (budget.stopped()) return interrupt(FlowPhase::kStart, nullptr);
+
+      // Global routing on capacities that already reflect the pre-routes.
+      // The sharing solver gets the flow-wide thread count in deterministic
+      // chunked mode, so its fractional solution matches at any parallelism.
+      gr.emplace(chip, rs.tg(), rs.fast(), nx, ny);
+      if (resume != nullptr && resume->phase >= FlowPhase::kGlobalDone) {
+        routes = resume->routes;
+        zones = resume->spread_zones;
+      } else {
+        GlobalRouterParams gp = params.global;
+        gp.sharing.threads = threads;
+        gp.sharing.deterministic = true;
+        gp.sharing.budget = &budget;
+        routes = gr->route(gp, &report.global);
+        if (budget.stopped()) {
+          // The sharing solver stopped early and the rounding ran on a
+          // degraded fractional solution; those routes would differ from
+          // the uninterrupted run's, so for bit-identical resume the
+          // checkpoint stays at kStart (full global replay).
+          routes.clear();
+          return interrupt(FlowPhase::kStart, nullptr);
+        }
+        // Wire spreading (§4.2): tiles the global router filled beyond 90 %
+        // get a keep-free cost so the detailed router spreads into emptier
+        // regions.  The zones go into any later checkpoint verbatim — they
+        // are *not* recomputable at kDetailedDone, where the fast grid
+        // already carries the detailed wiring.
+        BONN_TRACE_SPAN("router.wire_spreading");
+        const GlobalGraph& g = gr->graph();
+        std::vector<double> usage(static_cast<std::size_t>(g.num_edges()),
+                                  0.0);
+        for (const Net& n : chip.nets) {
+          const double w = chip.tech.wt(n.wiretype).track_usage;
+          for (const auto& [e, sp] :
+               routes[static_cast<std::size_t>(n.id)].edges) {
+            usage[static_cast<std::size_t>(e)] += w + sp;
+          }
+        }
+        for (int e = 0; e < g.num_edges(); ++e) {
+          const GlobalEdge& ge = g.edge(e);
+          if (ge.via) continue;
+          const double util =
+              usage[static_cast<std::size_t>(e)] / std::max(ge.capacity, 0.25);
+          // Only near-overflow tiles get a keep-free cost, and a mild one —
+          // spreading must nudge wires into empty space, not force detours.
+          if (util > 0.9) {
+            const Rect zone =
+                g.tile_rect(g.tx_of(ge.u), g.ty_of(ge.u))
+                    .hull(g.tile_rect(g.tx_of(ge.v), g.ty_of(ge.v)));
+            zones.push_back({zone, static_cast<Coord>(100 * (util - 0.9))});
+          }
+        }
+      }
+      router.set_global(&*gr, &routes);
+      router.set_spread_zones(std::vector<std::pair<Rect, Coord>>(zones));
+
+      sched.route_all(dp, &report.detailed);
+      if (budget.stopped()) return interrupt(FlowPhase::kGlobalDone, nullptr);
+    }
+    report.br_seconds = total.seconds();
+
+    if (params.run_cleanup) {
+      BONN_TRACE_SPAN("router.drc_cleanup");
+      // Snapshot the detailed-done wiring before cleanup mutates it: if the
+      // budget trips mid-cleanup, the checkpoint resumes cleanup from this
+      // boundary (the partially cleaned wiring is still returned as the
+      // best-effort result).  Skipped for unlimited budgets — the copy is
+      // pure overhead when nothing can interrupt the run.
+      RoutingResult after_detailed;
+      if (budget.limited()) {
+        after_detailed = from_detailed_done ? resume->base : rs.result();
+      }
+      DrcCleanup cleanup(router, &sched);
+      CleanupParams cp = params.cleanup;
+      cp.reroute = dp;
+      report.cleanup = cleanup.run(cp);
+      report.cleanup_seconds = report.cleanup.seconds;
+      if (budget.stopped()) {
+        return interrupt(FlowPhase::kDetailedDone, &after_detailed);
+      }
+    }
+    report.total_seconds = total.seconds();
+    finalize_report(chip, rs, report, out);
+    for (const FlowError& e : report.detailed.errors) {
+      append_error(report.errors, e);
+    }
+    flow_obs.finish(report);
+    return report;
+  } catch (const std::exception& e) {
+    // The recoverable-error boundary: whatever escaped the per-net and
+    // per-phase handlers is reported, never rethrown past the flow API.
+    report.outcome = FlowOutcome::kFailed;
+    append_error(report.errors, {"internal", e.what(), -1});
+    report.total_seconds = total.seconds();
+    flow_obs.finish(report);
+    return report;
+  }
+}
+
 }  // namespace
 
 FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
                               RoutingResult* out) {
-  Timer total;
-  FlowObs flow_obs("bonnroute", "flow.bonnroute", params.obs);
-  FlowReport report;
-  auto [nx, ny] = params.tiles_x > 0
-                      ? std::pair<int, int>{params.tiles_x, params.tiles_y}
-                      : auto_tiles(chip);
+  return bonnroute_impl(chip, params, out, nullptr);
+}
 
-  const int threads = resolve_threads(params.threads);
-  RoutingSpace rs(chip);
-  NetRouter router(rs);
-  DetailedScheduler sched(router, threads);
-
-  // §4.3 preprocessing first: access reservations consume routing space and
-  // must be visible to the §2.5 capacity estimation.
-  {
-    BONN_TRACE_SPAN("detailed.precompute_access");
-    router.precompute_access(params.detailed);
-  }
-  {
-    BONN_TRACE_SPAN("router.preroute_local_nets");
-    report.preroute_nets =
-        preroute_local_nets(chip, sched, params.detailed, nx, ny,
-                            &report.detailed);
-  }
-
-  // Global routing on capacities that already reflect the pre-routes.  The
-  // sharing solver gets the flow-wide thread count in deterministic chunked
-  // mode, so its fractional solution matches at any parallelism.
-  GlobalRouterParams gp = params.global;
-  gp.sharing.threads = threads;
-  gp.sharing.deterministic = true;
-  GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
-  std::vector<SteinerSolution> routes = gr.route(gp, &report.global);
-
-  router.set_global(&gr, &routes);
-  // Wire spreading (§4.2): tiles the global router filled beyond 70 % get a
-  // keep-free cost so the detailed router spreads into emptier regions.
-  {
-    BONN_TRACE_SPAN("router.wire_spreading");
-    const GlobalGraph& g = gr.graph();
-    std::vector<double> usage(static_cast<std::size_t>(g.num_edges()), 0.0);
-    for (const Net& n : chip.nets) {
-      const double w = chip.tech.wt(n.wiretype).track_usage;
-      for (const auto& [e, s] : routes[static_cast<std::size_t>(n.id)].edges) {
-        usage[static_cast<std::size_t>(e)] += w + s;
-      }
-    }
-    std::vector<std::pair<Rect, Coord>> zones;
-    for (int e = 0; e < g.num_edges(); ++e) {
-      const GlobalEdge& ge = g.edge(e);
-      if (ge.via) continue;
-      const double util =
-          usage[static_cast<std::size_t>(e)] / std::max(ge.capacity, 0.25);
-      // Only near-overflow tiles get a keep-free cost, and a mild one —
-      // spreading must nudge wires into empty space, not force detours.
-      if (util > 0.9) {
-        const Rect zone = g.tile_rect(g.tx_of(ge.u), g.ty_of(ge.u))
-                              .hull(g.tile_rect(g.tx_of(ge.v), g.ty_of(ge.v)));
-        zones.push_back({zone, static_cast<Coord>(100 * (util - 0.9))});
-      }
-    }
-    router.set_spread_zones(std::move(zones));
-  }
-  sched.route_all(params.detailed, &report.detailed);
-  report.br_seconds = total.seconds();
-
-  if (params.run_cleanup) {
-    BONN_TRACE_SPAN("router.drc_cleanup");
-    DrcCleanup cleanup(router, &sched);
-    CleanupParams cp = params.cleanup;
-    cp.reroute = params.detailed;
-    report.cleanup = cleanup.run(cp);
-    report.cleanup_seconds = report.cleanup.seconds;
-  }
-  report.total_seconds = total.seconds();
-  finalize_report(chip, rs, report, out);
-  flow_obs.finish(report);
-  return report;
+FlowReport resume_flow(const Chip& chip, const Checkpoint& ckpt,
+                       const FlowParams& params, RoutingResult* out) {
+  return bonnroute_impl(chip, params, out, &ckpt);
 }
 
 EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
@@ -250,132 +625,187 @@ EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
   EcoReport report;
   report.nets_requested = static_cast<int>(net_ids.size());
 
-  const int threads = resolve_threads(params.threads);
-  RoutingSpace rs(chip);
-  {
-    BONN_TRACE_SPAN("eco.load_prior");
-    rs.load_result(prior);
+  for (FlowError& e : validate_chip(chip)) {
+    append_error(report.errors, std::move(e));
   }
-  NetRouter router(rs);
-  DetailedScheduler sched(router, threads);
-
-  NetRouteParams rp = params.detailed;
-  rp.search.allowed_ripup = kStandard;
-  // An ECO edit must never convert a routed net into an open: a clean
-  // reroute commits, a violating one commits too (it gets picked up by the
-  // collision sweep or a later cleanup), and a failed one rolls back to the
-  // prior wiring via the scheduler's per-net transaction.
-  rp.commit_despite_violations = true;
-
-  // DRC interaction distance around the dirty region: wiring further away
-  // cannot have been affected by the reroute.
-  constexpr Coord kCollisionMargin = 600;
-
-  DetailedStats& stats = report.detailed;
-  std::vector<char> rerouted(chip.nets.size(), 0);
-  std::vector<int> wave;
+  for (FlowError& e : validate_flow_params(params)) {
+    append_error(report.errors, std::move(e));
+  }
+  // A prior result that does not belong to this chip would silently corrupt
+  // the routing space on load; reject it with structured errors instead.
+  for (FlowError& e : validate_result(chip, prior)) {
+    append_error(report.errors, std::move(e));
+  }
   for (int id : net_ids) {
-    const auto n = static_cast<std::size_t>(id);
-    BONN_CHECK(n < chip.nets.size());
-    if (!rerouted[n]) {
-      rerouted[n] = 1;
-      wave.push_back(id);
+    if (id < 0 || id >= chip.num_nets()) {
+      append_error(report.errors,
+                   {"eco.net_range",
+                    "requested net " + std::to_string(id) +
+                        " out of range [0, " +
+                        std::to_string(chip.num_nets()) + ")",
+                    id});
     }
   }
+  const auto finish_obs = [&]() {
+    FlowReport fr;
+    fr.outcome = report.outcome;
+    fr.stop_reason = report.stop_reason;
+    fr.errors = report.errors;
+    fr.total_seconds = report.total_seconds;
+    fr.detailed = report.detailed;
+    fr.netlength = report.netlength;
+    fr.vias = report.vias;
+    flow_obs.finish(fr);
+  };
+  if (!report.errors.empty()) {
+    report.outcome = FlowOutcome::kFailed;
+    report.total_seconds = total.seconds();
+    finish_obs();
+    return report;
+  }
 
-  // Rip + reroute the requested nets, then sweep the transactions' dirty
-  // regions for collision victims (nets whose wiring now violates near the
-  // new wiring) and reroute those too.  Bounded: each net reroutes at most
-  // once, and the sweep runs at most twice.
-  for (int pass = 0; pass < 3 && !wave.empty(); ++pass) {
+  const BudgetParams bp = budget_with_env(params.budget);
+  Budget budget(flow_deadline(bp), flow_memory(bp), bp.cancel);
+  budget.set_poll_trip(bp.poll_trip);
+
+  try {
+    const int threads = resolve_threads(params.threads);
+    RoutingSpace rs(chip);
     {
-      BONN_TRACE_SPAN("eco.reroute_pass");
-      report.nets_failed +=
-          sched.route_nets(wave, rp, &stats, /*rip_first=*/true,
-                           /*rip_depth=*/0);
-      report.nets_rerouted += static_cast<int>(wave.size());
+      BONN_TRACE_SPAN("eco.load_prior");
+      rs.load_result(prior);
     }
-    wave.clear();
-    if (pass == 2 || stats.dirty.empty()) break;
-    BONN_TRACE_SPAN("eco.collision_sweep");
-    // Wiring the reroute actually changed: the requested nets plus every
-    // rip-up victim its transactions touched.
-    std::vector<char> touched(chip.nets.size(), 0);
-    for (std::size_t i = 0; i < rerouted.size(); ++i) touched[i] = rerouted[i];
-    for (int id : stats.touched_nets) touched[static_cast<std::size_t>(id)] = 1;
-    const auto touched_blocker = [&](const PlacementCheck& pc) {
-      for (int b : pc.blocking_nets)
-        if (b >= 0 && touched[static_cast<std::size_t>(b)]) return true;
-      return false;
-    };
-    for (const Net& n : chip.nets) {
-      if (rerouted[static_cast<std::size_t>(n.id)]) continue;
-      bool near = false;
-      for (const RoutedPath& p : rs.paths(n.id)) {
-        for (const Shape& s : expand_path(p, chip.tech)) {
-          if (stats.dirty.intersects(s.rect, s.global_layer,
-                                     kCollisionMargin)) {
-            near = true;
-            break;
-          }
-        }
-        if (near) break;
+    NetRouter router(rs);
+    DetailedScheduler sched(router, threads);
+
+    NetRouteParams rp = params.detailed;
+    rp.search.allowed_ripup = kStandard;
+    rp.budget = &budget;
+    // An ECO edit must never convert a routed net into an open: a clean
+    // reroute commits, a violating one commits too (it gets picked up by the
+    // collision sweep or a later cleanup), and a failed one rolls back to the
+    // prior wiring via the scheduler's per-net transaction.
+    rp.commit_despite_violations = true;
+
+    // DRC interaction distance around the dirty region: wiring further away
+    // cannot have been affected by the reroute.
+    constexpr Coord kCollisionMargin = 600;
+
+    DetailedStats& stats = report.detailed;
+    std::vector<char> rerouted(chip.nets.size(), 0);
+    std::vector<int> wave;
+    for (int id : net_ids) {
+      const auto n = static_cast<std::size_t>(id);
+      if (!rerouted[n]) {
+        rerouted[n] = 1;
+        wave.push_back(id);
       }
-      if (!near) continue;
-      // A net is a collision victim only if its wiring now violates
-      // *against a net this reroute touched*.  The prior result may carry
-      // residual violations between untouched nets (the flow commits
-      // despite violations and cleans up best-effort); rerouting those here
-      // would cascade far beyond the edit.
-      bool violated = false;
-      for (const RoutedPath& p : rs.paths(n.id)) {
-        for (const WireStick& w : p.wires) {
-          const PlacementCheck pc = rs.checker().check_wire(w, n.id,
-                                                            p.wiretype);
-          if (!pc.allowed && touched_blocker(pc)) {
-            violated = true;
-            break;
+    }
+
+    // Rip + reroute the requested nets, then sweep the transactions' dirty
+    // regions for collision victims (nets whose wiring now violates near the
+    // new wiring) and reroute those too.  Bounded: each net reroutes at most
+    // once, and the sweep runs at most twice.  A tripped budget stops at the
+    // pass boundary — every net past that point keeps its prior wiring.
+    for (int pass = 0; pass < 3 && !wave.empty(); ++pass) {
+      {
+        BONN_TRACE_SPAN("eco.reroute_pass");
+        report.nets_failed +=
+            sched.route_nets(wave, rp, &stats, /*rip_first=*/true,
+                             /*rip_depth=*/0);
+        report.nets_rerouted += static_cast<int>(wave.size());
+      }
+      wave.clear();
+      if (budget.stopped()) break;
+      if (pass == 2 || stats.dirty.empty()) break;
+      BONN_TRACE_SPAN("eco.collision_sweep");
+      // Wiring the reroute actually changed: the requested nets plus every
+      // rip-up victim its transactions touched.
+      std::vector<char> touched(chip.nets.size(), 0);
+      for (std::size_t i = 0; i < rerouted.size(); ++i) {
+        touched[i] = rerouted[i];
+      }
+      for (int id : stats.touched_nets) {
+        touched[static_cast<std::size_t>(id)] = 1;
+      }
+      const auto touched_blocker = [&](const PlacementCheck& pc) {
+        for (int b : pc.blocking_nets)
+          if (b >= 0 && touched[static_cast<std::size_t>(b)]) return true;
+        return false;
+      };
+      for (const Net& n : chip.nets) {
+        if (rerouted[static_cast<std::size_t>(n.id)]) continue;
+        bool near = false;
+        for (const RoutedPath& p : rs.paths(n.id)) {
+          for (const Shape& s : expand_path(p, chip.tech)) {
+            if (stats.dirty.intersects(s.rect, s.global_layer,
+                                       kCollisionMargin)) {
+              near = true;
+              break;
+            }
           }
+          if (near) break;
         }
-        for (const ViaStick& v : p.vias) {
+        if (!near) continue;
+        // A net is a collision victim only if its wiring now violates
+        // *against a net this reroute touched*.  The prior result may carry
+        // residual violations between untouched nets (the flow commits
+        // despite violations and cleans up best-effort); rerouting those here
+        // would cascade far beyond the edit.
+        bool violated = false;
+        for (const RoutedPath& p : rs.paths(n.id)) {
+          for (const WireStick& w : p.wires) {
+            const PlacementCheck pc = rs.checker().check_wire(w, n.id,
+                                                              p.wiretype);
+            if (!pc.allowed && touched_blocker(pc)) {
+              violated = true;
+              break;
+            }
+          }
+          for (const ViaStick& v : p.vias) {
+            if (violated) break;
+            const PlacementCheck pc = rs.checker().check_via(v, n.id,
+                                                             p.wiretype);
+            if (!pc.allowed && touched_blocker(pc)) violated = true;
+          }
           if (violated) break;
-          const PlacementCheck pc = rs.checker().check_via(v, n.id,
-                                                           p.wiretype);
-          if (!pc.allowed && touched_blocker(pc)) violated = true;
         }
-        if (violated) break;
+        if (violated) {
+          rerouted[static_cast<std::size_t>(n.id)] = 1;
+          wave.push_back(n.id);
+        }
       }
-      if (violated) {
-        rerouted[static_cast<std::size_t>(n.id)] = 1;
-        wave.push_back(n.id);
+      report.collision_nets += static_cast<int>(wave.size());
+    }
+
+    if (budget.stopped()) {
+      report.stop_reason = budget.stop_reason();
+      report.outcome = outcome_of(report.stop_reason);
+    }
+
+    const RoutingResult result = rs.result();
+    for (const Net& n : chip.nets) {
+      const auto i = static_cast<std::size_t>(n.id);
+      if (!(result.net_paths[i] == prior.net_paths[i])) {
+        report.changed_nets.push_back(n.id);
       }
     }
-    report.collision_nets += static_cast<int>(wave.size());
+    report.rollbacks = stats.rollbacks;
+    report.dirty_bbox = stats.dirty.bbox;
+    report.netlength = result.total_wirelength();
+    report.vias = result.via_count();
+    report.total_seconds = total.seconds();
+    for (const FlowError& e : stats.errors) append_error(report.errors, e);
+    if (out) *out = result;
+    finish_obs();
+    return report;
+  } catch (const std::exception& e) {
+    report.outcome = FlowOutcome::kFailed;
+    append_error(report.errors, {"internal", e.what(), -1});
+    report.total_seconds = total.seconds();
+    finish_obs();
+    return report;
   }
-
-  const RoutingResult result = rs.result();
-  for (const Net& n : chip.nets) {
-    const auto i = static_cast<std::size_t>(n.id);
-    if (!(result.net_paths[i] == prior.net_paths[i])) {
-      report.changed_nets.push_back(n.id);
-    }
-  }
-  report.rollbacks = stats.rollbacks;
-  report.dirty_bbox = stats.dirty.bbox;
-  report.netlength = result.total_wirelength();
-  report.vias = result.via_count();
-  report.total_seconds = total.seconds();
-  if (out) *out = result;
-
-  // Reuse the flow-level observability tail (metrics snapshot, trace file,
-  // run report) with the ECO numbers mapped onto the flow report shape.
-  FlowReport fr;
-  fr.total_seconds = report.total_seconds;
-  fr.detailed = report.detailed;
-  fr.netlength = report.netlength;
-  fr.vias = report.vias;
-  flow_obs.finish(fr);
-  return report;
 }
 
 FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
@@ -383,50 +813,98 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
   Timer total;
   FlowObs flow_obs("isr", "flow.isr", params.obs);
   FlowReport report;
-  auto [nx, ny] = params.tiles_x > 0
-                      ? std::pair<int, int>{params.tiles_x, params.tiles_y}
-                      : auto_tiles(chip);
 
-  const int threads = resolve_threads(params.threads);
-  RoutingSpace rs(chip);
-  NetRouter router(rs);
-  DetailedScheduler sched(router, threads);
-
-  // ISR global: negotiated 2D + layer assignment on the same capacities.
-  GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
-  IsrGlobalRouter isr(chip, gr);
-  std::vector<SteinerSolution> routes =
-      isr.route(params.isr_global, &report.isr_global);
-
-  // ISR track assignment: long-distance trunks on tracks, no DRC checking
-  // (§1.2/§5.3); the gridless maze then closes pin-to-trunk connections.
-  {
-    BONN_TRACE_SPAN("router.track_assign");
-    assign_tracks(rs, gr, routes);
+  for (FlowError& e : validate_chip(chip)) {
+    append_error(report.errors, std::move(e));
+  }
+  for (FlowError& e : validate_flow_params(params)) {
+    append_error(report.errors, std::move(e));
+  }
+  if (!report.errors.empty()) {
+    report.outcome = FlowOutcome::kFailed;
+    report.total_seconds = total.seconds();
+    flow_obs.finish(report);
+    return report;
   }
 
-  // ISR detailed: per-vertex gridless maze, greedy pin access.
-  NetRouteParams dp = params.detailed;
-  dp.vertex_search = true;
-  dp.greedy_access = true;
-  dp.use_pi_p = false;
-  dp.layer_corridor = false;  // "purely gridless fashion"
-  router.set_global(&gr, &routes);
-  sched.route_all(dp, &report.detailed);
-  report.br_seconds = total.seconds();
+  const BudgetParams bp = budget_with_env(params.budget);
+  Budget budget(flow_deadline(bp), flow_memory(bp), bp.cancel);
+  budget.set_poll_trip(bp.poll_trip);
 
-  if (params.run_cleanup) {
-    BONN_TRACE_SPAN("router.drc_cleanup");
-    DrcCleanup cleanup(router, &sched);
-    CleanupParams cp = params.cleanup;
-    cp.reroute = dp;
-    report.cleanup = cleanup.run(cp);
-    report.cleanup_seconds = report.cleanup.seconds;
+  try {
+    auto [nx, ny] = params.tiles_x > 0
+                        ? std::pair<int, int>{params.tiles_x, params.tiles_y}
+                        : auto_tiles(chip);
+    const int threads = resolve_threads(params.threads);
+    RoutingSpace rs(chip);
+    NetRouter router(rs);
+    DetailedScheduler sched(router, threads);
+
+    // Budget-interrupted: report the partial routing.  No checkpoint — the
+    // ISR negotiation loop's history prices are not reconstructible at a
+    // phase boundary, so an interrupted ISR run resumes by rerunning.
+    auto interrupted = [&]() {
+      report.stop_reason = budget.stop_reason();
+      report.outcome = outcome_of(report.stop_reason);
+      report.total_seconds = total.seconds();
+      finalize_report(chip, rs, report, out);
+      for (const FlowError& e : report.detailed.errors) {
+        append_error(report.errors, e);
+      }
+      flow_obs.finish(report);
+      return report;
+    };
+
+    // ISR global: negotiated 2D + layer assignment on the same capacities.
+    GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
+    IsrGlobalRouter isr(chip, gr);
+    std::vector<SteinerSolution> routes =
+        isr.route(params.isr_global, &report.isr_global);
+    if (budget.stopped()) return interrupted();
+
+    // ISR track assignment: long-distance trunks on tracks, no DRC checking
+    // (§1.2/§5.3); the gridless maze then closes pin-to-trunk connections.
+    {
+      BONN_TRACE_SPAN("router.track_assign");
+      assign_tracks(rs, gr, routes);
+    }
+    if (budget.stopped()) return interrupted();
+
+    // ISR detailed: per-vertex gridless maze, greedy pin access.
+    NetRouteParams dp = params.detailed;
+    dp.vertex_search = true;
+    dp.greedy_access = true;
+    dp.use_pi_p = false;
+    dp.layer_corridor = false;  // "purely gridless fashion"
+    dp.budget = &budget;
+    router.set_global(&gr, &routes);
+    sched.route_all(dp, &report.detailed);
+    if (budget.stopped()) return interrupted();
+    report.br_seconds = total.seconds();
+
+    if (params.run_cleanup) {
+      BONN_TRACE_SPAN("router.drc_cleanup");
+      DrcCleanup cleanup(router, &sched);
+      CleanupParams cp = params.cleanup;
+      cp.reroute = dp;
+      report.cleanup = cleanup.run(cp);
+      report.cleanup_seconds = report.cleanup.seconds;
+      if (budget.stopped()) return interrupted();
+    }
+    report.total_seconds = total.seconds();
+    finalize_report(chip, rs, report, out);
+    for (const FlowError& e : report.detailed.errors) {
+      append_error(report.errors, e);
+    }
+    flow_obs.finish(report);
+    return report;
+  } catch (const std::exception& e) {
+    report.outcome = FlowOutcome::kFailed;
+    append_error(report.errors, {"internal", e.what(), -1});
+    report.total_seconds = total.seconds();
+    flow_obs.finish(report);
+    return report;
   }
-  report.total_seconds = total.seconds();
-  finalize_report(chip, rs, report, out);
-  flow_obs.finish(report);
-  return report;
 }
 
 }  // namespace bonn

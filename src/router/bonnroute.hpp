@@ -10,14 +10,25 @@
 //
 // Both flows share the chip, the capacity model and the metrics code, so the
 // Table I/III comparisons isolate the algorithmic differences.
+//
+// Fault tolerance: every flow entry point validates its inputs up front,
+// runs under an optional execution budget (wall clock, RSS, cooperative
+// cancellation), and reports how it ended through FlowOutcome + FlowError
+// instead of aborting the process.  When the budget trips, the BonnRoute
+// flow checkpoints at the last completed deterministic phase boundary and
+// returns its best-effort partial routing; resume_flow replays the
+// remaining phases and reproduces the uninterrupted result bit-identically.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "src/detailed/net_router.hpp"
+#include "src/router/checkpoint.hpp"
 #include "src/router/drc_cleanup.hpp"
 #include "src/router/isr_global.hpp"
 #include "src/router/metrics.hpp"
+#include "src/util/budget.hpp"
 
 namespace bonn {
 
@@ -28,6 +39,20 @@ struct ObsParams {
   bool metrics = true;      ///< populate the obs metrics registry
   std::string trace_path;   ///< Chrome trace-event JSON (empty: BONN_TRACE)
   std::string report_path;  ///< structured run report (empty: BONN_REPORT)
+};
+
+/// Execution budget of a flow run.  All limits default to "unlimited"; the
+/// BONN_DEADLINE_S / BONN_MEM_GB environment variables override the fields
+/// (strictly parsed — garbage is rejected with a warning, see util/env.hpp).
+struct BudgetParams {
+  double deadline_s = 0;  ///< wall-clock limit in seconds; <= 0 = none
+  double memory_gb = 0;   ///< resident-set limit in GiB; <= 0 = none
+  /// Cooperative cancellation: cancel() from any thread makes the flow wind
+  /// down to the next phase boundary and checkpoint.
+  CancelToken cancel = CancelToken::none();
+  /// Testing/fuzzing hook: trip deterministically after exactly this many
+  /// budget polls (negative = disabled).  See Budget::set_poll_trip.
+  std::int64_t poll_trip = -1;
 };
 
 struct FlowParams {
@@ -45,9 +70,26 @@ struct FlowParams {
   CleanupParams cleanup;
   bool run_cleanup = true;
   ObsParams obs;
+  BudgetParams budget;
+  /// Where to write the checkpoint if the run is interrupted (empty: the
+  /// BONN_CHECKPOINT environment variable; still empty = in-memory only,
+  /// via FlowReport::checkpoint).
+  std::string checkpoint_path;
 };
 
 struct FlowReport {
+  /// How the run ended.  kCompleted and kBudgetExhausted / kCancelled all
+  /// leave a usable (possibly partial) routing in `out`; kFailed means the
+  /// inputs were rejected or an internal error escaped a phase — see
+  /// `errors`.
+  FlowOutcome outcome = FlowOutcome::kCompleted;
+  StopReason stop_reason = StopReason::kNone;  ///< which limit tripped
+  /// Structured diagnostics: validation failures, per-net recovered errors,
+  /// internal failures (capped, see append_error).
+  std::vector<FlowError> errors;
+  /// Set when the run was interrupted: the phase-boundary checkpoint that
+  /// resume_flow replays from (also saved to checkpoint_path if set).
+  std::shared_ptr<Checkpoint> checkpoint;
   double total_seconds = 0;
   double br_seconds = 0;       ///< Table I "BR" column (before cleanup)
   double cleanup_seconds = 0;
@@ -67,6 +109,9 @@ struct FlowReport {
 /// Result of an incremental (ECO) reroute: how much was touched and how the
 /// routing differs from the prior result.
 struct EcoReport {
+  FlowOutcome outcome = FlowOutcome::kCompleted;
+  StopReason stop_reason = StopReason::kNone;
+  std::vector<FlowError> errors;
   double total_seconds = 0;
   int nets_requested = 0;
   int nets_rerouted = 0;   ///< requested nets + dirty-region collision victims
@@ -86,6 +131,8 @@ struct EcoReport {
 /// regions for collision victims and reroute those too.  Every net outside
 /// the touched set keeps its prior wiring bit-identically; with empty
 /// `net_ids` the result *is* `prior`.  Deterministic at any thread count.
+/// Malformed inputs (net ids out of range, a prior that does not belong to
+/// the chip) produce outcome = kFailed with structured errors, not a crash.
 EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
                        const std::vector<int>& net_ids,
                        const FlowParams& params, RoutingResult* out = nullptr);
@@ -93,11 +140,42 @@ EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
 /// Auto tile count for a chip (≈ 50 tracks of the bottom layer per tile).
 std::pair<int, int> auto_tiles(const Chip& chip);
 
-/// Run the BonnRoute flow; fills `out` with the final routing.
+/// Structural validation of flow parameters (ranges, finiteness, tile
+/// consistency).  Empty = valid; run_bonnroute_flow performs this up front
+/// and fails the run with these errors instead of asserting mid-flow.
+std::vector<FlowError> validate_flow_params(const FlowParams& params);
+
+/// Digest of the result-affecting flow parameters (tiles, global, detailed
+/// and cleanup knobs).  Deliberately excludes threads, observability,
+/// budget limits and the checkpoint path — none of them change the routing.
+/// Checkpoints carry it so a resume under different parameters (which could
+/// not reproduce the original run) is rejected.
+std::uint64_t flow_params_digest(const FlowParams& params);
+
+/// Check that `ck` can resume a run of `params` on `chip`: version, chip
+/// and parameter digests, phase range, state digest, and base-result
+/// geometry.  Empty = resumable.
+std::vector<FlowError> validate_checkpoint(const Chip& chip,
+                                           const FlowParams& params,
+                                           const Checkpoint& ck);
+
+/// Run the BonnRoute flow; fills `out` with the final routing.  Never
+/// throws on malformed input or an expired budget: see FlowReport::outcome.
 FlowReport run_bonnroute_flow(const Chip& chip, const FlowParams& params,
                               RoutingResult* out = nullptr);
 
-/// Run the ISR baseline flow.
+/// Resume an interrupted BonnRoute flow from a checkpoint: completed phases
+/// are reloaded, the unfinished ones replayed.  Because every phase is
+/// deterministic at any thread count, the result is bit-identical to the
+/// uninterrupted run — even when the resumed run uses a different thread
+/// count than the interrupted one.
+FlowReport resume_flow(const Chip& chip, const Checkpoint& ckpt,
+                       const FlowParams& params, RoutingResult* out = nullptr);
+
+/// Run the ISR baseline flow.  Budget-aware (polled between stages) but
+/// without checkpointing — the ISR negotiation loop carries history prices
+/// that are not phase-boundary reconstructible, so an interrupted ISR run
+/// reports its partial result and resumes by rerunning.
 FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
                         RoutingResult* out = nullptr);
 

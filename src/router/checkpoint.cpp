@@ -1,0 +1,255 @@
+#include "src/router/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/db/io.hpp"
+#include "src/util/hash.hpp"
+
+namespace bonn {
+
+namespace {
+
+[[noreturn]] void ckpt_error(const std::string& what) {
+  throw std::runtime_error("checkpoint parse error: " + what);
+}
+
+std::string expect_line(std::istream& is, const char* what) {
+  std::string line;
+  if (!std::getline(is, line)) ckpt_error(std::string("eof before ") + what);
+  return line;
+}
+
+void need_fields(std::istringstream& ls, const char* record) {
+  if (ls.fail()) {
+    ckpt_error(std::string(record) + " record: missing or malformed fields");
+  }
+}
+
+constexpr long long kMaxCount = 100'000'000;
+
+std::size_t checked_count(long long n, const char* record) {
+  if (n < 0 || n > kMaxCount) {
+    ckpt_error(std::string(record) + " record: count " + std::to_string(n) +
+               " out of range");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+const char* to_string(FlowPhase p) {
+  switch (p) {
+    case FlowPhase::kStart: return "start";
+    case FlowPhase::kGlobalDone: return "global_done";
+    case FlowPhase::kDetailedDone: return "detailed_done";
+  }
+  return "unknown";
+}
+
+std::uint64_t checkpoint_state_digest(const Checkpoint& ck) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_i64(h, static_cast<int>(ck.phase));
+  h = fnv1a_u64(h, ck.routes.size());
+  for (const SteinerSolution& s : ck.routes) {
+    h = fnv1a_u64(h, s.edges.size());
+    for (const auto& [e, x] : s.edges) {
+      h = fnv1a_i64(h, e);
+      h = fnv1a_i64(h, x);
+    }
+  }
+  h = fnv1a_u64(h, ck.spread_zones.size());
+  for (const auto& [r, cost] : ck.spread_zones) {
+    h = fnv1a_i64(h, r.xlo);
+    h = fnv1a_i64(h, r.ylo);
+    h = fnv1a_i64(h, r.xhi);
+    h = fnv1a_i64(h, r.yhi);
+    h = fnv1a_i64(h, cost);
+  }
+  h = fnv1a_u64(h, ck.base.net_paths.size());
+  for (const auto& paths : ck.base.net_paths) {
+    h = fnv1a_u64(h, paths.size());
+    for (const RoutedPath& p : paths) {
+      h = fnv1a_i64(h, p.net);
+      h = fnv1a_i64(h, p.wiretype);
+      for (const WireStick& w : p.wires) {
+        h = fnv1a_i64(h, w.layer);
+        h = fnv1a_i64(h, w.a.x);
+        h = fnv1a_i64(h, w.a.y);
+        h = fnv1a_i64(h, w.b.x);
+        h = fnv1a_i64(h, w.b.y);
+      }
+      for (const ViaStick& v : p.vias) {
+        h = fnv1a_i64(h, v.below);
+        h = fnv1a_i64(h, v.at.x);
+        h = fnv1a_i64(h, v.at.y);
+      }
+    }
+  }
+  h = fnv1a_u64(h, ck.net_routed.size());
+  for (char c : ck.net_routed) h = fnv1a_i64(h, c != 0);
+  return h;
+}
+
+void write_checkpoint(std::ostream& os, const Checkpoint& ck) {
+  os << "BONNCKPT v1\n";
+  os << "meta " << ck.version << ' ' << ck.chip_hash << ' '
+     << ck.params_digest << ' ' << static_cast<int>(ck.phase) << ' '
+     << checkpoint_state_digest(ck) << "\n";
+  os << "zones " << ck.spread_zones.size() << "\n";
+  for (const auto& [r, cost] : ck.spread_zones) {
+    os << "z " << r.xlo << ' ' << r.ylo << ' ' << r.xhi << ' ' << r.yhi << ' '
+       << cost << "\n";
+  }
+  os << "status " << ck.net_routed.size();
+  for (char c : ck.net_routed) os << (c != 0 ? " 1" : " 0");
+  os << "\n";
+  os << "routes " << ck.routes.size() << "\n";
+  for (std::size_t n = 0; n < ck.routes.size(); ++n) {
+    const SteinerSolution& s = ck.routes[n];
+    if (s.edges.empty()) continue;
+    os << "r " << n << ' ' << s.edges.size();
+    for (const auto& [e, x] : s.edges) {
+      os << ' ' << e << ' ' << static_cast<int>(x);
+    }
+    os << "\n";
+  }
+  os << "base\n";
+  write_result(os, ck.base);
+  os << "endckpt\n";
+}
+
+Checkpoint read_checkpoint(std::istream& is) {
+  Checkpoint ck;
+  if (expect_line(is, "header") != "BONNCKPT v1") ckpt_error("bad header");
+  std::uint64_t stored_digest = 0;
+  {
+    std::istringstream ls(expect_line(is, "meta"));
+    std::string tag;
+    int phase = 0;
+    ls >> tag >> ck.version >> ck.chip_hash >> ck.params_digest >> phase >>
+        stored_digest;
+    need_fields(ls, "meta");
+    if (tag != "meta") ckpt_error("meta line");
+    if (ck.version != Checkpoint::kVersion) {
+      ckpt_error("unsupported checkpoint version " +
+                 std::to_string(ck.version) + " (this build reads v" +
+                 std::to_string(Checkpoint::kVersion) + ")");
+    }
+    if (phase < 0 || phase > static_cast<int>(FlowPhase::kDetailedDone)) {
+      ckpt_error("meta record: phase " + std::to_string(phase) +
+                 " out of range");
+    }
+    ck.phase = static_cast<FlowPhase>(phase);
+    ck.state_digest = stored_digest;
+  }
+  {
+    std::istringstream ls(expect_line(is, "zones"));
+    std::string tag;
+    long long k = 0;
+    ls >> tag >> k;
+    need_fields(ls, "zones");
+    if (tag != "zones") ckpt_error("zones line");
+    const std::size_t count = checked_count(k, "zones");
+    ck.spread_zones.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::istringstream zl(expect_line(is, "zone"));
+      std::string zt;
+      Rect r;
+      Coord cost = 0;
+      zl >> zt >> r.xlo >> r.ylo >> r.xhi >> r.yhi >> cost;
+      need_fields(zl, "z");
+      if (zt != "z") ckpt_error("zone line");
+      ck.spread_zones.emplace_back(r, cost);
+    }
+  }
+  {
+    std::istringstream ls(expect_line(is, "status"));
+    std::string tag;
+    long long n = 0;
+    ls >> tag >> n;
+    need_fields(ls, "status");
+    if (tag != "status") ckpt_error("status line");
+    const std::size_t count = checked_count(n, "status");
+    ck.net_routed.resize(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      int bit = 0;
+      ls >> bit;
+      need_fields(ls, "status");
+      if (bit != 0 && bit != 1) ckpt_error("status record: bad bit");
+      ck.net_routed[i] = static_cast<char>(bit);
+    }
+  }
+  {
+    std::istringstream ls(expect_line(is, "routes"));
+    std::string tag;
+    long long n = 0;
+    ls >> tag >> n;
+    need_fields(ls, "routes");
+    if (tag != "routes") ckpt_error("routes line");
+    ck.routes.resize(checked_count(n, "routes"));
+  }
+  std::string line;
+  while (true) {
+    line = expect_line(is, "routes/base");
+    if (line == "base") break;
+    std::istringstream ls(line);
+    std::string tag;
+    long long net = 0, edges = 0;
+    ls >> tag >> net >> edges;
+    need_fields(ls, "r");
+    if (tag != "r") ckpt_error("unknown record '" + tag + "'");
+    if (net < 0 || net >= static_cast<long long>(ck.routes.size())) {
+      ckpt_error("r record: net id " + std::to_string(net) + " out of range");
+    }
+    SteinerSolution& s = ck.routes[static_cast<std::size_t>(net)];
+    if (!s.edges.empty()) {
+      ckpt_error("r record: duplicate routes for net " + std::to_string(net));
+    }
+    const std::size_t ne = checked_count(edges, "r");
+    s.edges.reserve(ne);
+    for (std::size_t e = 0; e < ne; ++e) {
+      int edge = 0, extra = 0;
+      ls >> edge >> extra;
+      need_fields(ls, "r");
+      if (edge < 0) ckpt_error("r record: negative edge id");
+      if (extra < 0 || extra > 255) ckpt_error("r record: bad extra space");
+      s.edges.emplace_back(edge, static_cast<std::uint8_t>(extra));
+    }
+  }
+  ck.base = read_result(is);
+  if (expect_line(is, "endckpt") != "endckpt") ckpt_error("missing endckpt");
+  if (checkpoint_state_digest(ck) != stored_digest) {
+    ckpt_error("state digest mismatch — the checkpoint file is corrupt");
+  }
+  return ck;
+}
+
+void save_checkpoint(const std::string& path, const Checkpoint& ck) {
+  std::ofstream os(path);
+  if (!os.good()) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  write_checkpoint(os, ck);
+  os.flush();
+  if (!os.good()) throw std::runtime_error("failed writing " + path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) throw std::runtime_error("cannot open " + path);
+  return read_checkpoint(is);
+}
+
+std::optional<Checkpoint> try_load_checkpoint(const std::string& path,
+                                              FlowError* err) {
+  try {
+    return load_checkpoint(path);
+  } catch (const std::exception& e) {
+    if (err != nullptr) *err = {"checkpoint.load", e.what(), -1};
+    return std::nullopt;
+  }
+}
+
+}  // namespace bonn

@@ -1,0 +1,86 @@
+// Versioned flow checkpoints (fault tolerance).
+//
+// A checkpoint freezes the flow at a deterministic *phase boundary*: the
+// rounded global routes after the sharing/rounding stage, and/or the full
+// detailed wiring after the scheduler's escalation rounds.  resume_flow
+// replays the unfinished phases from that boundary; because every phase is
+// bit-identical at any thread count, the resumed run reproduces the
+// uninterrupted RoutingResult exactly.  Mid-phase progress is returned to
+// the caller as the best-effort partial result but deliberately *not*
+// resumed from: the detailed router's lazily rebuilt per-pin access state
+// depends on when catalogues were (re)generated, which a wiring snapshot
+// cannot reproduce.
+//
+// The file format is a plain-text sibling of BONNCHIP/BONNRESULT
+// ("BONNCKPT v1").  Digests (chip, parameters, state) are FNV-1a content
+// hashes: resuming against the wrong chip, with result-affecting parameters
+// changed, or from a bit-rotted file is rejected with actionable errors.
+// (The digest also covers the role the issue calls "RNG/price state": both
+// are re-derived deterministically — the rounding RNG from its seed, prices
+// by replaying the phase — so no generator state needs to persist.)
+//
+// Note: this lives in src/router (not src/db/io.cpp) because a checkpoint
+// embeds rounded global routes (SteinerSolution), and src/global already
+// depends on src/db — the db layer cannot name global-router types.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/db/chip.hpp"
+#include "src/global/steiner.hpp"
+
+namespace bonn {
+
+/// Phase boundaries a checkpoint can freeze.
+enum class FlowPhase : int {
+  kStart = 0,         ///< nothing reusable yet: resume = full rerun
+  kGlobalDone = 1,    ///< rounded global routes frozen; detailed replays
+  kDetailedDone = 2,  ///< detailed wiring frozen; only cleanup replays
+};
+
+const char* to_string(FlowPhase p);
+
+struct Checkpoint {
+  static constexpr int kVersion = 1;
+  int version = kVersion;
+  std::uint64_t chip_hash = 0;     ///< chip_digest() of the routed chip
+  std::uint64_t params_digest = 0; ///< flow_params_digest() of the run
+  FlowPhase phase = FlowPhase::kStart;
+  std::uint64_t state_digest = 0;  ///< checkpoint_state_digest() at save
+  /// Rounded global routes per net (phase >= kGlobalDone); the edge ids
+  /// refer to the deterministic GlobalGraph rebuilt on resume.
+  std::vector<SteinerSolution> routes;
+  /// Wire-spreading zones derived from the original post-preroute
+  /// capacities (phase >= kGlobalDone) — not recomputable at kDetailedDone,
+  /// where the fast grid already carries the detailed wiring.
+  std::vector<std::pair<Rect, Coord>> spread_zones;
+  /// Wiring at the boundary: the resume base at kDetailedDone; at earlier
+  /// phases the best-effort partial wiring (informational — resume replays).
+  RoutingResult base;
+  /// Per-net connectivity at interrupt time (1 = routed), informational.
+  std::vector<char> net_routed;
+};
+
+/// Content digest over routes, spread zones, base wiring and net status.
+std::uint64_t checkpoint_state_digest(const Checkpoint& ck);
+
+void write_checkpoint(std::ostream& os, const Checkpoint& ck);
+/// Parses a checkpoint written by write_checkpoint.  Throws
+/// std::runtime_error naming the offending record on malformed input
+/// (including a state-digest mismatch).
+Checkpoint read_checkpoint(std::istream& is);
+
+// File-path convenience wrappers (same contract as save_chip/load_chip).
+void save_checkpoint(const std::string& path, const Checkpoint& ck);
+Checkpoint load_checkpoint(const std::string& path);
+
+/// Non-throwing loader: nullopt on failure with the diagnostic in `*err`.
+std::optional<Checkpoint> try_load_checkpoint(const std::string& path,
+                                              FlowError* err);
+
+}  // namespace bonn

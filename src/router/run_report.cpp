@@ -14,6 +14,17 @@ obs::Json flow_report_json(const std::string& flow_name,
   Json doc = Json::object();
   doc.set("schema", Json(1));
   doc.set("flow", Json(flow_name));
+  doc.set("outcome", Json(std::string(to_string(report.outcome))));
+  doc.set("stop_reason", Json(std::string(to_string(report.stop_reason))));
+  Json errors = Json::array();
+  for (const FlowError& e : report.errors) {
+    Json err = Json::object();
+    err.set("code", Json(e.code));
+    err.set("message", Json(e.message));
+    if (e.net >= 0) err.set("net", Json(e.net));
+    errors.push(std::move(err));
+  }
+  doc.set("errors", std::move(errors));
 
   Json seconds = Json::object();
   seconds.set("total", Json(report.total_seconds));

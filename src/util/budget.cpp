@@ -1,0 +1,88 @@
+#include "src/util/budget.hpp"
+
+#include <limits>
+
+#ifdef __linux__
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace bonn {
+
+Deadline Deadline::after_seconds(double s) {
+  Deadline d;
+  if (s <= 0) {
+    d.at_ = Clock::time_point::min();
+    return d;
+  }
+  d.at_ = Clock::now() +
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double>(s));
+  return d;
+}
+
+double Deadline::remaining_seconds() const {
+  if (never_expires()) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - Clock::now()).count();
+}
+
+MemoryBudget MemoryBudget::of_gb(double gb) {
+  MemoryBudget m;
+  m.limit_gb_ = gb;
+  return m;
+}
+
+double MemoryBudget::current_rss_gb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size, &resident);
+  std::fclose(f);
+  if (got != 2 || resident < 0) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident) * static_cast<double>(page) /
+         (1024.0 * 1024.0 * 1024.0);
+#else
+  return 0;
+#endif
+}
+
+bool MemoryBudget::exceeded() const {
+  if (unlimited()) return false;
+  const double rss = current_rss_gb();
+  return rss > 0 && rss > limit_gb_;
+}
+
+const char* to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kNone: return "none";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kMemory: return "memory";
+    case StopReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+StopReason Budget::stop_reason() const {
+  const int latched = latched_.load(std::memory_order_acquire);
+  if (latched != 0) return static_cast<StopReason>(latched);
+  const std::int64_t poll = polls_.fetch_add(1, std::memory_order_relaxed);
+  StopReason r = StopReason::kNone;
+  if (trip_at_ >= 0 && poll >= trip_at_) {
+    r = StopReason::kCancelled;
+  } else if (cancel_.cancelled()) {
+    r = StopReason::kCancelled;
+  } else if (deadline_.expired()) {
+    r = StopReason::kDeadline;
+  } else if ((poll & 255) == 0 && memory_.exceeded()) {
+    r = StopReason::kMemory;
+  }
+  if (r != StopReason::kNone) {
+    latched_.store(static_cast<int>(r), std::memory_order_release);
+  }
+  return r;
+}
+
+}  // namespace bonn

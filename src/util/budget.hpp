@@ -1,0 +1,158 @@
+// Cooperative execution budgets: wall-clock deadlines, RSS memory caps and
+// hierarchical cancellation.
+//
+// A Budget is polled — never enforced preemptively — at the natural
+// granularities of the routing stack: the sharing solver between
+// deterministic chunks, the detailed scheduler between nets and escalation
+// rounds, ThreadPool::parallel_for between claimed chunks, and the on-track
+// search every few thousand heap pops.  The first limit that trips is
+// *latched*, so every subsequent poll reports the same StopReason and the
+// whole stack winds down through one consistent exit path.
+//
+// Determinism: wall-clock and RSS trips are inherently timing-dependent, so
+// interrupt/resume tests instead use set_poll_trip(K), which cancels
+// deterministically after exactly K polls — the poll sequence itself is
+// deterministic at a fixed thread count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace bonn {
+
+/// Monotonic wall-clock deadline.  Default-constructed deadlines never
+/// expire.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline never() { return Deadline(); }
+  /// Expires `s` seconds from now; `s <= 0` yields an already-expired
+  /// deadline.
+  static Deadline after_seconds(double s);
+
+  bool never_expires() const { return at_ == Clock::time_point::max(); }
+  bool expired() const {
+    return !never_expires() && Clock::now() >= at_;
+  }
+  /// Seconds until expiry (negative once expired); +inf when unlimited.
+  double remaining_seconds() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point at_ = Clock::time_point::max();
+};
+
+/// Resident-set-size cap.  Reads /proc/self/statm on Linux; on other
+/// platforms current_rss_gb() returns 0 and the budget never trips
+/// (mirroring read_peak_memory_gb in the flow metrics).
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;  // unlimited
+  static MemoryBudget of_gb(double gb);
+
+  bool unlimited() const { return limit_gb_ <= 0; }
+  double limit_gb() const { return limit_gb_; }
+  bool exceeded() const;
+
+  /// Current RSS in GiB, 0 when unavailable.
+  static double current_rss_gb();
+
+ private:
+  double limit_gb_ = 0;
+};
+
+/// Cooperative cancellation flag with hierarchical children: cancelling a
+/// parent cancels every descendant, cancelling a child leaves the parent
+/// running.  Copies share state; the class is cheap to pass by value.
+class CancelToken {
+ public:
+  /// A fresh root token (not cancelled, cancellable).
+  CancelToken() : state_(std::make_shared<State>()) {}
+  /// A token that can never be cancelled (the default for flows).
+  static CancelToken none() {
+    CancelToken t;
+    t.state_ = nullptr;
+    return t;
+  }
+
+  bool can_cancel() const { return state_ != nullptr; }
+  void cancel() const {
+    if (state_) state_->flag.store(true, std::memory_order_release);
+  }
+  bool cancelled() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->flag.load(std::memory_order_acquire)) return true;
+    }
+    return false;
+  }
+  /// A child token: sees this token's cancellation, but cancelling the child
+  /// does not cancel this token.
+  CancelToken child() const {
+    CancelToken t;
+    t.state_->parent = state_;
+    return t;
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> flag{false};
+    std::shared_ptr<State> parent;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Why a budget stopped the run.
+enum class StopReason : int {
+  kNone = 0,
+  kDeadline = 1,
+  kMemory = 2,
+  kCancelled = 3,
+};
+
+const char* to_string(StopReason r);
+
+/// Aggregate budget.  stop_reason() is the single polling entry point; the
+/// first non-kNone answer is latched.  Thread-safe: polls are lock-free.
+class Budget {
+ public:
+  Budget() = default;  // unlimited
+  Budget(Deadline deadline, MemoryBudget memory, CancelToken cancel)
+      : deadline_(deadline), memory_(memory), cancel_(std::move(cancel)) {}
+
+  /// True when any limit is actually in force — callers skip snapshot work
+  /// (e.g. the pre-cleanup RoutingResult copy) for unlimited budgets.
+  bool limited() const {
+    return !deadline_.never_expires() || !memory_.unlimited() ||
+           cancel_.can_cancel() || trip_at_ >= 0;
+  }
+
+  /// Poll.  Latches and returns the first reason that fires.  RSS is only
+  /// read every 256th poll (a /proc read per poll would dominate cheap poll
+  /// sites).
+  StopReason stop_reason() const;
+  bool stopped() const { return stop_reason() != StopReason::kNone; }
+
+  const Deadline& deadline() const { return deadline_; }
+  const MemoryBudget& memory() const { return memory_; }
+  const CancelToken& cancel_token() const { return cancel_; }
+
+  /// Testing/fuzzing hook: trip (as kCancelled) after exactly `polls` calls
+  /// to stop_reason().  Negative disables.  The poll sequence is
+  /// deterministic at a fixed thread count, which makes interrupt points
+  /// reproducible.
+  void set_poll_trip(std::int64_t polls) { trip_at_ = polls; }
+
+ private:
+  Deadline deadline_;
+  MemoryBudget memory_;
+  // none(), not a fresh root: a default Budget must report limited() ==
+  // false so unlimited runs skip budget-only snapshot work.
+  CancelToken cancel_ = CancelToken::none();
+  std::int64_t trip_at_ = -1;
+  mutable std::atomic<int> latched_{0};
+  mutable std::atomic<std::int64_t> polls_{0};
+};
+
+}  // namespace bonn

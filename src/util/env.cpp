@@ -1,0 +1,69 @@
+#include "src/util/env.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/obs/log.hpp"
+
+namespace bonn {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::optional<long long> parse_int(const std::string& text) {
+  const std::string t = trimmed(text);
+  if (t.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (errno == ERANGE || end == t.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  const std::string t = trimmed(text);
+  if (t.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (errno == ERANGE || end == t.c_str() || *end != '\0') return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> env_int(const char* name, long long min,
+                                 long long max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  const auto v = parse_int(raw);
+  if (!v || *v < min || *v > max) {
+    BONN_LOGF(obs::LogLevel::kWarn, "ignoring %s='%s': expected an integer in [%lld, %lld]",
+              name, raw, min, max);
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> env_double(const char* name, double min, double max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return std::nullopt;
+  const auto v = parse_double(raw);
+  if (!v || *v < min || *v > max) {
+    BONN_LOGF(obs::LogLevel::kWarn, "ignoring %s='%s': expected a number in [%g, %g]", name,
+              raw, min, max);
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace bonn

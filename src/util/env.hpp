@@ -1,0 +1,31 @@
+// Strict environment-variable parsing.
+//
+// BONN_THREADS / BONN_DEADLINE_S / BONN_MEM_GB and friends used to go
+// through atoi(), which silently turns "banana" into 0 and "4x" into 4.
+// These helpers parse the *whole* value or reject it: on garbage they log a
+// warning naming the variable and return nullopt so the caller falls back to
+// its default.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace bonn {
+
+/// Parse `text` as a base-10 integer; the full string must be consumed
+/// (leading/trailing whitespace allowed).
+std::optional<long long> parse_int(const std::string& text);
+
+/// Parse `text` as a finite double; the full string must be consumed.
+std::optional<double> parse_double(const std::string& text);
+
+/// getenv(name) parsed as an integer in [min, max].  Unset → nullopt
+/// (silent).  Set but malformed or out of range → nullopt plus a logged
+/// warning naming the variable and the offending value.
+std::optional<long long> env_int(const char* name, long long min,
+                                 long long max);
+
+/// getenv(name) parsed as a finite double in [min, max]; same contract.
+std::optional<double> env_double(const char* name, double min, double max);
+
+}  // namespace bonn

@@ -1,0 +1,18 @@
+#include "src/util/error.hpp"
+
+#include <utility>
+
+namespace bonn {
+
+void append_error(std::vector<FlowError>& errors, FlowError err,
+                  std::size_t cap) {
+  if (cap == 0 || errors.size() >= cap) return;  // already truncated
+  if (errors.size() + 1 == cap) {
+    errors.push_back({"errors.truncated",
+                      "further errors suppressed (cap reached)", -1});
+    return;
+  }
+  errors.push_back(std::move(err));
+}
+
+}  // namespace bonn

@@ -1,0 +1,52 @@
+// Recoverable error model for the flow boundary.
+//
+// The paper's flows (§5.3) are batch runs that either finish or die on an
+// assertion.  A production service must instead degrade gracefully: malformed
+// inputs, expired budgets and internal invariant failures surface as a
+// FlowOutcome plus structured FlowError diagnostics on the FlowReport, never
+// as abort() or an exception escaping run_bonnroute_flow / run_isr_flow /
+// reroute_nets.  This header sits at the bottom of the layering (util) so
+// that src/detailed can record per-net failures with the same vocabulary the
+// flow reports to the caller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bonn {
+
+/// Terminal state of a flow invocation.
+enum class FlowOutcome {
+  kCompleted,        ///< ran to the end (individual nets may still be open)
+  kBudgetExhausted,  ///< deadline or memory budget expired; partial result
+  kCancelled,        ///< external CancelToken fired; partial result
+  kFailed,           ///< invalid input or internal error; see errors
+};
+
+inline const char* to_string(FlowOutcome o) {
+  switch (o) {
+    case FlowOutcome::kCompleted: return "completed";
+    case FlowOutcome::kBudgetExhausted: return "budget_exhausted";
+    case FlowOutcome::kCancelled: return "cancelled";
+    case FlowOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+/// One structured diagnostic.  `code` is a stable machine-readable slug
+/// ("chip.net_pin_range", "io.truncated", "net_attempt", "budget.deadline",
+/// ...); `message` is the actionable human text; `net` is the offending net
+/// id when the error is net-scoped, -1 otherwise.
+struct FlowError {
+  std::string code;
+  std::string message;
+  int net = -1;
+};
+
+/// Append `err` to `errors`, keeping at most `cap` entries (the last slot is
+/// replaced by a summary marker once the cap is hit so a pathological run
+/// cannot balloon the report).
+void append_error(std::vector<FlowError>& errors, FlowError err,
+                  std::size_t cap = 64);
+
+}  // namespace bonn

@@ -1,0 +1,46 @@
+// FNV-1a accumulation helpers for content digests (chip hash, checkpoint
+// integrity).  Not cryptographic — these digests detect accidental
+// mismatches (resuming against the wrong chip or with different parameters),
+// not adversarial tampering.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace bonn {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+
+inline std::uint64_t fnv1a_i64(std::uint64_t h, std::int64_t v) {
+  return fnv1a_u64(h, static_cast<std::uint64_t>(v));
+}
+
+inline std::uint64_t fnv1a_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fnv1a_u64(h, bits);
+}
+
+inline std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a_u64(h, s.size());
+  return fnv1a(h, s.data(), s.size());
+}
+
+}  // namespace bonn

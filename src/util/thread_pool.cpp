@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "src/util/assert.hpp"
+#include "src/util/budget.hpp"
 
 namespace bonn {
 
@@ -38,19 +39,22 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain, const Budget* budget) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   // Dynamic chunk dispatch: a shared atomic counter keeps threads busy even
   // when per-item cost is skewed (routing regions are); each claim takes
-  // `grain` consecutive indices.
+  // `grain` consecutive indices.  A tripped budget stops further claims but
+  // never abandons a chunk mid-flight.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   const std::size_t chunks = (n + grain - 1) / grain;
   const std::size_t tasks = std::min(chunks, workers_.size());
   for (std::size_t t = 0; t < tasks; ++t) {
-    submit([next, n, grain, &fn] {
-      for (std::size_t i = next->fetch_add(grain); i < n;
-           i = next->fetch_add(grain)) {
+    submit([next, n, grain, budget, &fn] {
+      while (true) {
+        if (budget != nullptr && budget->stopped()) return;
+        const std::size_t i = next->fetch_add(grain);
+        if (i >= n) return;
         const std::size_t hi = std::min(n, i + grain);
         for (std::size_t j = i; j < hi; ++j) fn(j);
       }

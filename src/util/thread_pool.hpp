@@ -15,6 +15,8 @@
 
 namespace bonn {
 
+class Budget;
+
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -35,8 +37,12 @@ class ThreadPool {
   /// `grain` is the number of consecutive indices claimed per dispatch;
   /// larger grains amortize the shared counter on cheap bodies while a
   /// grain of 1 keeps load balancing exact for skewed per-item cost.
+  /// When `budget` is given, workers stop claiming new chunks once it
+  /// trips — chunks already claimed still finish, so the caller sees a
+  /// prefix-complete (but possibly partial) sweep and must re-check the
+  /// budget afterwards.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1, const Budget* budget = nullptr);
 
  private:
   void worker_loop();

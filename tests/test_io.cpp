@@ -84,6 +84,115 @@ TEST(ChipIo, RejectsMalformed) {
   EXPECT_THROW(read_result(bad4), std::runtime_error);
 }
 
+namespace {
+
+// Returns the parse error message, or "" if the text parsed cleanly.
+std::string chip_parse_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    read_chip(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::string result_parse_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    read_result(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(ChipIo, MalformedChipsNameTheFailingRecord) {
+  // A declared element count is bounds-checked before it drives an
+  // allocation.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "net a 0 1 99999999999\nendchip\n")
+                .find("count 99999999999 out of range"),
+            std::string::npos);
+  // Layer counts outside [2, 64] are rejected.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 1\ndie 0 0 100 100\nendchip\n")
+                .find("tech"),
+            std::string::npos);
+  // An empty die area is rejected.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 100 100 0 0\nendchip\n")
+                .find("empty die"),
+            std::string::npos);
+  // Blockage layer and shape class are validated.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "blockage 99 0 0 0 10 10\nendchip\n")
+                .find("global layer 99 out of range"),
+            std::string::npos);
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "blockage 0 999 0 0 10 10\nendchip\n")
+                .find("bad class"),
+            std::string::npos);
+  // Pin shapes must be on a real layer and not inverted.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "net a 0 1 1\npin 9 0 0 10 10\nendpin\nendchip\n")
+                .find("layer 9 out of range"),
+            std::string::npos);
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "net a 0 1 1\npin 0 10 10 0 0\nendpin\nendchip\n")
+                .find("inverted rect"),
+            std::string::npos);
+  // The declared pin count must match the pins actually present.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "net a 0 1 2\npin 0 0 0 10 10\nendpin\nendchip\n")
+                .find("declared 2 pins but found 1"),
+            std::string::npos);
+  // Truncated fields and truncated files are diagnosed, not crashed on.
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0\nendchip\n")
+                .find("missing or malformed fields"),
+            std::string::npos);
+  EXPECT_NE(chip_parse_error("BONNCHIP v1\ntech 4\ndie 0 0 100 100\n"
+                             "net a 0 1 1\npin 0 0 0 10 10\nendpin\n")
+                .find("missing endchip"),
+            std::string::npos);
+}
+
+TEST(ChipIo, MalformedResultsNameTheFailingRecord) {
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 99999999999\nendresult\n")
+                .find("count 99999999999 out of range"),
+            std::string::npos);
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\npath 5 0 0 0\n"
+                               "endresult\n")
+                .find("net id 5 out of range"),
+            std::string::npos);
+  // The declared wire/via counts must match the sticks actually present —
+  // both too few (caught at path close) and too many (caught per record).
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\npath 0 0 2 0\n"
+                               "w 0 0 0 10 0\nendresult\n")
+                .find("declared 2 wires / 0 vias but found 1 / 0"),
+            std::string::npos);
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\npath 0 0 0 0\n"
+                               "w 0 0 0 10 0\nendresult\n")
+                .find("more wires than declared"),
+            std::string::npos);
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\npath 0 0 0 1\n"
+                               "v 0 0 0\nv 0 5 5\nendresult\n")
+                .find("more vias than declared"),
+            std::string::npos);
+  // Stray records outside a path, bad layers, truncation.
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\nw 0 0 0 10 0\n"
+                               "endresult\n")
+                .find("w record outside a path"),
+            std::string::npos);
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\npath 0 0 1 0\n"
+                               "w 77 0 0 10 0\nendresult\n")
+                .find("bad layer"),
+            std::string::npos);
+  EXPECT_NE(result_parse_error("BONNRESULT v1\nnets 1\npath 0 0 0 0\n")
+                .find("missing endresult"),
+            std::string::npos);
+}
+
 TEST(TrackAssign, AssignsTrunksOnTracks) {
   ChipParams p;
   p.tiles_x = 4;

@@ -1,11 +1,16 @@
 // Utility-layer tests: RNG determinism and distribution sanity, thread pool
-// correctness under load, check macros.
+// correctness under load, check macros, execution budgets, strict environment
+// variable parsing.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
 #include <numeric>
 
 #include "src/util/assert.hpp"
+#include "src/util/budget.hpp"
+#include "src/util/env.hpp"
 #include "src/util/rng.hpp"
 #include "src/util/thread_pool.hpp"
 #include "src/util/timer.hpp"
@@ -125,6 +130,122 @@ TEST(Checks, BonnCheckThrows) {
     EXPECT_NE(std::string(e.what()).find("context message"),
               std::string::npos);
   }
+}
+
+TEST(Budget, DeadlineBasics) {
+  EXPECT_FALSE(Deadline::never().expired());
+  EXPECT_TRUE(std::isinf(Deadline::never().remaining_seconds()));
+  EXPECT_TRUE(Deadline::after_seconds(0).expired());
+  EXPECT_TRUE(Deadline::after_seconds(-1).expired());
+  const Deadline far = Deadline::after_seconds(3600);
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining_seconds(), 3500.0);
+}
+
+TEST(Budget, MemoryBudgetBasics) {
+  EXPECT_TRUE(MemoryBudget().unlimited());
+  EXPECT_FALSE(MemoryBudget().exceeded());
+  EXPECT_FALSE(MemoryBudget::of_gb(1024).exceeded());
+#ifdef __linux__
+  // A running test binary has a nonzero RSS, which any microscopic cap trips.
+  EXPECT_GT(MemoryBudget::current_rss_gb(), 0.0);
+  EXPECT_TRUE(MemoryBudget::of_gb(1e-6).exceeded());
+#endif
+}
+
+TEST(Budget, CancelTokenHierarchy) {
+  const CancelToken none = CancelToken::none();
+  EXPECT_FALSE(none.can_cancel());
+  none.cancel();  // inert by design
+  EXPECT_FALSE(none.cancelled());
+
+  CancelToken root;
+  CancelToken child = root.child();
+  CancelToken sibling = root.child();
+  child.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(root.cancelled());
+  EXPECT_FALSE(sibling.cancelled());
+  root.cancel();
+  EXPECT_TRUE(root.cancelled());
+  EXPECT_TRUE(sibling.cancelled());
+}
+
+TEST(Budget, LatchesFirstReason) {
+  Budget unlimited;
+  EXPECT_FALSE(unlimited.limited());
+  EXPECT_FALSE(unlimited.stopped());
+
+  CancelToken cancel;
+  Budget b(Deadline::after_seconds(0), MemoryBudget(), cancel);
+  EXPECT_TRUE(b.limited());
+  EXPECT_EQ(b.stop_reason(), StopReason::kDeadline);
+  // A later cancellation cannot overwrite the latched reason.
+  cancel.cancel();
+  EXPECT_EQ(b.stop_reason(), StopReason::kDeadline);
+}
+
+TEST(Budget, PollTripIsDeterministic) {
+  Budget b;
+  b.set_poll_trip(3);
+  EXPECT_TRUE(b.limited());
+  EXPECT_EQ(b.stop_reason(), StopReason::kNone);       // poll 0
+  EXPECT_EQ(b.stop_reason(), StopReason::kNone);       // poll 1
+  EXPECT_EQ(b.stop_reason(), StopReason::kNone);       // poll 2
+  EXPECT_EQ(b.stop_reason(), StopReason::kCancelled);  // poll 3 trips
+  EXPECT_EQ(b.stop_reason(), StopReason::kCancelled);  // latched
+  EXPECT_STREQ(to_string(StopReason::kNone), "none");
+  EXPECT_STREQ(to_string(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(StopReason::kMemory), "memory");
+  EXPECT_STREQ(to_string(StopReason::kCancelled), "cancelled");
+}
+
+TEST(ThreadPool, ParallelForHonoursBudget) {
+  ThreadPool pool(3);
+  Budget tripped;
+  tripped.set_poll_trip(0);
+  std::atomic<int> ran{0};
+  pool.parallel_for(1000, [&](std::size_t) { ++ran; }, 8, &tripped);
+  EXPECT_EQ(ran.load(), 0);
+  Budget open;
+  pool.parallel_for(1000, [&](std::size_t) { ++ran; }, 8, &open);
+  EXPECT_EQ(ran.load(), 1000);
+  pool.parallel_for(1000, [&](std::size_t) { ++ran; }, 8, nullptr);
+  EXPECT_EQ(ran.load(), 2000);
+}
+
+TEST(Env, StrictIntParsing) {
+  unsetenv("BONN_TEST_ENV");
+  EXPECT_FALSE(env_int("BONN_TEST_ENV", 0, 100).has_value());
+  setenv("BONN_TEST_ENV", "42", 1);
+  EXPECT_EQ(env_int("BONN_TEST_ENV", 0, 100).value_or(-1), 42);
+  setenv("BONN_TEST_ENV", "  7  ", 1);  // surrounding whitespace tolerated
+  EXPECT_EQ(env_int("BONN_TEST_ENV", 0, 100).value_or(-1), 7);
+  setenv("BONN_TEST_ENV", "12abc", 1);  // trailing garbage rejected
+  EXPECT_FALSE(env_int("BONN_TEST_ENV", 0, 100).has_value());
+  setenv("BONN_TEST_ENV", "999", 1);  // out of range rejected
+  EXPECT_FALSE(env_int("BONN_TEST_ENV", 0, 100).has_value());
+  setenv("BONN_TEST_ENV", "-1", 1);
+  EXPECT_FALSE(env_int("BONN_TEST_ENV", 0, 100).has_value());
+  setenv("BONN_TEST_ENV", "", 1);  // empty rejected
+  EXPECT_FALSE(env_int("BONN_TEST_ENV", 0, 100).has_value());
+  unsetenv("BONN_TEST_ENV");
+}
+
+TEST(Env, StrictDoubleParsing) {
+  unsetenv("BONN_TEST_ENV");
+  EXPECT_FALSE(env_double("BONN_TEST_ENV", 0.0, 10.0).has_value());
+  setenv("BONN_TEST_ENV", "1.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("BONN_TEST_ENV", 0.0, 10.0).value_or(-1), 1.5);
+  setenv("BONN_TEST_ENV", "nan", 1);  // non-finite rejected
+  EXPECT_FALSE(env_double("BONN_TEST_ENV", 0.0, 10.0).has_value());
+  setenv("BONN_TEST_ENV", "inf", 1);
+  EXPECT_FALSE(env_double("BONN_TEST_ENV", 0.0, 10.0).has_value());
+  setenv("BONN_TEST_ENV", "bogus", 1);
+  EXPECT_FALSE(env_double("BONN_TEST_ENV", 0.0, 10.0).has_value());
+  setenv("BONN_TEST_ENV", "99", 1);  // out of range rejected
+  EXPECT_FALSE(env_double("BONN_TEST_ENV", 0.0, 10.0).has_value());
+  unsetenv("BONN_TEST_ENV");
 }
 
 TEST(Timer, MeasuresElapsed) {

@@ -1,0 +1,80 @@
+// Perf-trajectory harness: run the seeded standard chips through both flows
+// (BR+ISR and the ISR baseline), print the unified scoreboard per chip, and
+// write the whole run as a trajectory JSON — the file bench_diff compares
+// across commits (BENCH_<n>.json at the repo root; see README "Measuring
+// the router").
+//
+// Chip labels are positional ("chip1", "chip2", ...) and the generator is
+// seeded, so a 1-chip CI smoke run (BONN_BENCH_CHIPS=1) diffs cleanly
+// against a full-suite baseline: diff_trajectories intersects by label.
+//
+// Usage: bench_scoreboard [--out FILE] [--pr N]
+//   --out FILE   trajectory output path (default BENCH_<n>.json in cwd)
+//   --pr N       sets <n> for the default output name (default 6)
+#include <cstring>
+#include <fstream>
+
+#include "bench/bench_common.hpp"
+#include "src/router/bonnroute.hpp"
+#include "src/router/scoreboard.hpp"
+
+using namespace bonn;
+
+int main(int argc, char** argv) {
+  int pr = 6;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--pr") == 0 && i + 1 < argc) {
+      pr = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scoreboard [--out FILE] [--pr N]\n");
+      return 2;
+    }
+  }
+  if (out_path.empty()) out_path = "BENCH_" + std::to_string(pr) + ".json";
+
+  bench::print_header("Routing scoreboard: BR+ISR vs ISR, per chip");
+  const auto suite = bench::bench_suite();
+
+  std::vector<std::pair<std::string, std::vector<Scoreboard>>> chips;
+  int chip_no = 0;
+  for (const ChipParams& params : suite) {
+    ++chip_no;
+    const std::string label = "chip" + std::to_string(chip_no);
+    const Chip chip = generate_chip(params);
+    FlowParams fp;
+    fp.global.sharing.phases = 6;
+
+    std::vector<Scoreboard> boards;
+    for (const bool isr : {false, true}) {
+      const FlowReport r = isr ? run_isr_flow(chip, fp, nullptr)
+                               : run_bonnroute_flow(chip, fp, nullptr);
+      Scoreboard s = Scoreboard::from_report(r, isr ? "isr" : "bonnroute");
+      s.chip = label;
+      boards.push_back(std::move(s));
+    }
+
+    std::printf("\n%s (%d nets, seed %llu)\n", label.c_str(), params.num_nets,
+                (unsigned long long)params.seed);
+    std::fputs(scoreboard_table(boards).c_str(), stdout);
+    chips.emplace_back(label, std::move(boards));
+  }
+
+  const obs::Json doc = trajectory_json(chips);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(1) << '\n';
+  if (!out) {
+    std::fprintf(stderr, "write to %s failed\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\ntrajectory written to %s (%d chips)\n", out_path.c_str(),
+              chip_no);
+  return 0;
+}

@@ -1,19 +1,33 @@
 // Quickstart: route a small synthetic chip with the full BonnRoute flow and
 // print the result summary.
 //
-//   $ ./examples/quickstart [num_nets]
+//   $ ./examples/quickstart [num_nets] [--explain-net ID]
 //
 // Walks through the public API: generate a chip, run the flow, inspect the
-// routing result, audit it for DRC violations.
+// routing result, audit it for DRC violations.  --explain-net turns on the
+// per-net flight recorder and dumps every routing attempt the flow made for
+// that net (see README "Measuring the router").
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/db/instance_gen.hpp"
+#include "src/obs/flight.hpp"
 #include "src/router/bonnroute.hpp"
 
 using namespace bonn;
 
 int main(int argc, char** argv) {
+  int explain_net = -1;
+  int num_nets = 80;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain-net") == 0 && i + 1 < argc) {
+      explain_net = std::atoi(argv[++i]);
+    } else {
+      num_nets = std::atoi(argv[i]);
+    }
+  }
+
   // 1. Build an instance.  generate_chip stands in for reading a real
   //    design: standard-cell rows with off-track pins, macros, power
   //    stripes, and a netlist with realistic terminal counts.
@@ -21,7 +35,7 @@ int main(int argc, char** argv) {
   params.tiles_x = 4;
   params.tiles_y = 4;
   params.tracks_per_tile = 30;
-  params.num_nets = argc > 1 ? std::atoi(argv[1]) : 80;
+  params.num_nets = num_nets;
   params.seed = 2026;
   const Chip chip = generate_chip(params);
   std::printf("chip: %d nets, %d pins, %d wiring layers, die %lld x %lld dbu\n",
@@ -33,6 +47,7 @@ int main(int argc, char** argv) {
   //    cleanup.
   FlowParams flow;
   flow.global.sharing.phases = 6;
+  flow.obs.flight = explain_net >= 0;  // record per-net routing attempts
   RoutingResult result;
   const FlowReport report = run_bonnroute_flow(chip, flow, &result);
 
@@ -54,5 +69,12 @@ int main(int argc, char** argv) {
               n0.name.c_str(), n0.degree(),
               result.net_paths[static_cast<std::size_t>(n0.id)].size(),
               (long long)result.net_wirelength(n0.id));
+
+  // 5. Flight-recorder query: every routing attempt for one net, with
+  //    Dijkstra pops, rip-ups, the escalation rung and the outcome.
+  if (explain_net >= 0) {
+    std::printf("\n--explain-net %d:\n%s\n", explain_net,
+                obs::Flight::explain(explain_net).dump(1).c_str());
+  }
   return report.drc.opens == 0 ? 0 : 1;
 }

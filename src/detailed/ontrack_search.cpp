@@ -290,7 +290,10 @@ struct Engine {
     labels.push_back(lb);
     ++local_stats.labels_created;
     const Coord key = label_key(labels.back());
-    if (key < kInf) pq.push({key, id});
+    if (key < kInf) {
+      pq.push({key, id});
+      ++local_stats.heap_pushes;
+    }
     return id;
   }
 
@@ -591,7 +594,10 @@ struct Engine {
         flush_stats();
         return result;
       }
-      if (next_key < kInf) pq.push({next_key, lid});
+      if (next_key < kInf) {
+        pq.push({next_key, lid});
+        ++local_stats.heap_pushes;
+      }
     }
     flush_stats();
     return std::nullopt;
@@ -601,6 +607,7 @@ struct Engine {
     if (stats) {
       stats->labels_created += local_stats.labels_created;
       stats->pops += local_stats.pops;
+      stats->heap_pushes += local_stats.heap_pushes;
       stats->station_expansions += local_stats.station_expansions;
       stats->fastgrid_hits += local_stats.fastgrid_hits;
       stats->fastgrid_misses += local_stats.fastgrid_misses;
@@ -614,11 +621,13 @@ struct Engine {
     // allocation- and atomic-free.
     static obs::Counter& c_labels = obs::counter("detailed.labels_created");
     static obs::Counter& c_pops = obs::counter("detailed.interval_pops");
+    static obs::Counter& c_push = obs::counter("detailed.heap_pushes");
     static obs::Counter& c_exp = obs::counter("detailed.station_expansions");
     static obs::Counter& c_hits = obs::counter("fastgrid.hits");
     static obs::Counter& c_miss = obs::counter("fastgrid.misses");
     c_labels.add(local_stats.labels_created);
     c_pops.add(local_stats.pops);
+    c_push.add(local_stats.heap_pushes);
     c_exp.add(local_stats.station_expansions);
     c_hits.add(local_stats.fastgrid_hits);
     c_miss.add(local_stats.fastgrid_misses);

@@ -83,6 +83,7 @@ struct SearchSource {
 struct SearchStats {
   std::int64_t labels_created = 0;
   std::int64_t pops = 0;
+  std::int64_t heap_pushes = 0;     ///< priority-queue pushes (incl. re-keys)
   std::int64_t station_expansions = 0;
   std::int64_t fastgrid_hits = 0;   ///< questions answered from the fast grid
   std::int64_t fastgrid_misses = 0;  ///< fallbacks to the rule checker

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/detailed/transaction.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -40,6 +41,7 @@ void merge_stats(DetailedStats& into, const DetailedStats& s) {
                            s.touched_nets.end());
   into.search.labels_created += s.search.labels_created;
   into.search.pops += s.search.pops;
+  into.search.heap_pushes += s.search.heap_pushes;
   into.search.station_expansions += s.search.station_expansions;
   into.search.fastgrid_hits += s.search.fastgrid_hits;
   into.search.fastgrid_misses += s.search.fastgrid_misses;
@@ -100,7 +102,27 @@ void DetailedScheduler::return_worker(NetRouter* r) {
 bool DetailedScheduler::attempt_net(NetRouter* r, int net,
                                     const NetRouteParams& params,
                                     DetailedStats* stats, bool rip_first,
-                                    int rip_depth) {
+                                    int rip_depth, int window) {
+  // Flight recorder: one record per attempt, built from the deltas of the
+  // stats the attempt writes anyway.  When the caller routes without stats,
+  // a scratch block stands in so the deltas are still observable; the
+  // disabled path costs exactly this one branch.
+  const bool fly = obs::Flight::enabled();
+  DetailedStats scratch;
+  if (fly && stats == nullptr) stats = &scratch;
+  std::int64_t pops0 = 0, pushes0 = 0;
+  int rip0 = 0, roll0 = 0, ladder0 = 0;
+  std::uint64_t t0 = 0;
+  bool recovered_error = false;
+  if (fly) {
+    pops0 = stats->search.pops;
+    pushes0 = stats->search.heap_pushes;
+    rip0 = stats->ripups;
+    roll0 = stats->rollbacks;
+    ladder0 = stats->ladder_retries;
+    t0 = obs::Trace::now_us();
+  }
+
   // A rip-up cascade is all-or-nothing (net_router.cpp): if a victim cannot
   // be rerouted cleanly, route_net fails and the transaction rolls back.
   // In the violating-commit round that alone would strand the net, so retry
@@ -110,7 +132,8 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
   const bool degenerate_retry =
       params.commit_despite_violations && params.search.allowed_ripup != 0;
   const int passes = degenerate_retry ? 2 : 1;
-  for (int pass = 0; pass < passes; ++pass) {
+  bool routed = false;
+  for (int pass = 0; pass < passes && !routed; ++pass) {
     NetRouteParams p = params;
     if (pass == 1) p.search.allowed_ripup = 0;
     RoutingTransaction txn(*rs_);
@@ -123,6 +146,7 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
       // attempt unwinds that net's transaction and marks the net failed —
       // it must never kill the flow.
       ok = false;
+      recovered_error = true;
       static obs::Counter& c_err = obs::counter("detailed.net_attempt_errors");
       c_err.add();
       BONN_LOGF(obs::LogLevel::kWarn, "net %d attempt failed: %s", net,
@@ -151,9 +175,28 @@ bool DetailedScheduler::attempt_net(NetRouter* r, int net,
                                  txn.touched_nets().end());
     }
     txn.commit();
-    return true;
+    routed = true;
   }
-  return false;
+
+  if (fly) {
+    obs::FlightRecord rec;
+    rec.net = net;
+    rec.window = window;
+    rec.phase = obs::current_phase();
+    rec.mode = params.vertex_search ? "vertex" : "ontrack";
+    rec.pops = stats->search.pops - pops0;
+    rec.pushes = stats->search.heap_pushes - pushes0;
+    rec.ripups = stats->ripups - rip0;
+    rec.rollbacks = stats->rollbacks - roll0;
+    rec.ladder_rungs = stats->ladder_retries - ladder0;
+    rec.rip_first = rip_first;
+    rec.budget_stopped = params.budget != nullptr && params.budget->stopped();
+    rec.outcome = routed ? 'R' : (recovered_error ? 'E' : 'F');
+    rec.start_us = t0;
+    rec.dur_us = obs::Trace::now_us() - t0;
+    obs::Flight::record(rec);
+  }
+  return routed;
 }
 
 int DetailedScheduler::route_nets(const std::vector<int>& nets,
@@ -205,7 +248,8 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
         maybe_open_[static_cast<std::size_t>(net)] = 0;
         continue;
       }
-      if (!attempt_net(owner_, net, params, stats, rip_first, rip_depth)) {
+      if (!attempt_net(owner_, net, params, stats, rip_first, rip_depth,
+                       /*window=*/0)) {
         ++failures;
       }
     }
@@ -284,7 +328,8 @@ int DetailedScheduler::route_nets(const std::vector<int>& nets,
           maybe_open_[static_cast<std::size_t>(net)] = 0;
           continue;
         }
-        if (!attempt_net(r, net, wp, &wt.local, rip_first, rip_depth)) {
+        if (!attempt_net(r, net, wp, &wt.local, rip_first, rip_depth,
+                         window_id[i])) {
           wt.failed.push_back(net);
         }
       }

@@ -54,9 +54,13 @@ class DetailedScheduler {
   /// Route one net under its own RoutingTransaction (ripping it first when
   /// `rip_first`): commit on success, roll back — restoring the pre-attempt
   /// wiring — on failure.  Updates the maybe-open cache from the
-  /// transaction's touched-net set.
+  /// transaction's touched-net set.  Every routing attempt in the stack —
+  /// flow, ECO, cleanup — funnels through here, so this is also where the
+  /// flight recorder captures one record per attempt; `window` is the
+  /// scheduler window the attempt ran in (-1 = serial / cross-window).
   bool attempt_net(NetRouter* r, int net, const NetRouteParams& params,
-                   DetailedStats* stats, bool rip_first, int rip_depth);
+                   DetailedStats* stats, bool rip_first, int rip_depth,
+                   int window = -1);
 
   NetRouter* owner_;
   RoutingSpace* rs_;

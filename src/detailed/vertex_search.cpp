@@ -42,6 +42,7 @@ std::optional<FoundPath> VertexSearch::run(
     if (stats) {
       stats->labels_created += local.labels_created;
       stats->pops += local.pops;
+      stats->heap_pushes += local.heap_pushes;
       stats->station_expansions += local.station_expansions;
       stats->fastgrid_hits += local.fastgrid_hits;
       stats->fastgrid_misses += local.fastgrid_misses;
@@ -50,10 +51,12 @@ std::optional<FoundPath> VertexSearch::run(
     // interchangeable, so their work lands in one set of counters.
     static obs::Counter& c_labels = obs::counter("detailed.labels_created");
     static obs::Counter& c_pops = obs::counter("detailed.interval_pops");
+    static obs::Counter& c_push = obs::counter("detailed.heap_pushes");
     static obs::Counter& c_hits = obs::counter("fastgrid.hits");
     static obs::Counter& c_miss = obs::counter("fastgrid.misses");
     c_labels.add(local.labels_created);
     c_pops.add(local.pops);
+    c_push.add(local.heap_pushes);
     c_hits.add(local.fastgrid_hits);
     c_miss.add(local.fastgrid_misses);
   };
@@ -125,6 +128,7 @@ std::optional<FoundPath> VertexSearch::run(
       ns.source_tag = tag;
       ++local.labels_created;
       pq.push({d + pi(tg.vertex_ptl(v)), key});
+      ++local.heap_pushes;
     }
   };
 

@@ -172,6 +172,40 @@ Registry& registry() {
   return r;
 }
 
+double histogram_quantile(const std::vector<std::int64_t>& buckets,
+                          double q) {
+  std::int64_t total = 0;
+  for (const std::int64_t n : buckets) total += n;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Continuous rank in [0, total-1]; the sample at that (possibly
+  // fractional) rank is located in its bucket, then placed proportionally
+  // within the bucket's value range.
+  const double rank = q * static_cast<double>(total - 1);
+  std::int64_t cum = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::int64_t n = buckets[b];
+    if (n <= 0) continue;
+    if (rank < static_cast<double>(cum + n)) {
+      const std::int64_t lo = Histogram::bucket_lo(static_cast<int>(b));
+      const std::int64_t hi = b == 0 ? 0 : 2 * lo - 1;
+      const double t = (rank - static_cast<double>(cum)) /
+                       static_cast<double>(n);
+      return static_cast<double>(lo) + t * static_cast<double>(hi - lo);
+    }
+    cum += n;
+  }
+  // rank == total-1 exactly and it fell through on floating-point edge:
+  // the answer is in the last non-empty bucket's range top.
+  for (std::size_t b = buckets.size(); b-- > 0;) {
+    if (buckets[b] > 0) {
+      const std::int64_t lo = Histogram::bucket_lo(static_cast<int>(b));
+      return static_cast<double>(b == 0 ? 0 : 2 * lo - 1);
+    }
+  }
+  return 0.0;
+}
+
 Json metrics_json() {
   Json out = Json::object();
   for (const MetricSample& s : registry().snapshot()) {
@@ -186,6 +220,9 @@ Json metrics_json() {
         Json h = Json::object();
         h.set("count", Json(s.count));
         h.set("mean", Json(s.value));
+        h.set("p50", Json(histogram_quantile(s.buckets, 0.50)));
+        h.set("p95", Json(histogram_quantile(s.buckets, 0.95)));
+        h.set("p99", Json(histogram_quantile(s.buckets, 0.99)));
         // Build the array out-of-line with a reserve: GCC 12 -O2 flags
         // variant moves during vector growth as maybe-uninitialized.
         Json::Array buckets;

@@ -168,9 +168,18 @@ inline Histogram& histogram(std::string_view name) {
   return registry().histogram(name);
 }
 
+/// Quantile estimate from a log2-bucketed count vector (as produced by
+/// MetricSample::buckets).  The rank q*(count-1) is located in its bucket,
+/// then linearly interpolated across the bucket's value range
+/// [bucket_lo(b), 2*bucket_lo(b)-1] — exact for single-valued buckets
+/// (0 and 1), within a factor of 2 elsewhere, which is all a log-scale
+/// histogram can promise.  Returns 0 for an empty histogram; q is clamped
+/// to [0, 1].
+double histogram_quantile(const std::vector<std::int64_t>& buckets, double q);
+
 /// Snapshot rendered as a JSON object {"name": value, ...}; histograms
-/// become {"count","mean","buckets"} objects.  Shared by the run report and
-/// the tests.
+/// become {"count","mean","p50","p95","p99","buckets"} objects.  Shared by
+/// the run report and the tests.
 Json metrics_json();
 
 }  // namespace bonn::obs

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/json.hpp"
 
 namespace bonn::obs {
@@ -17,6 +18,7 @@ namespace {
 
 struct Event {
   const char* name;
+  const char* phase;    ///< flow phase at record time ("X" events only)
   std::uint64_t ts;
   std::uint64_t dur;    ///< "X" events only
   double value;         ///< "C" events only
@@ -26,6 +28,7 @@ struct Event {
 
 struct ThreadBuffer {
   std::vector<Event> events;
+  std::string name;     ///< optional thread name (set_thread_name)
   std::uint32_t tid = 0;
   // Cap per thread: a span-happy run cannot eat unbounded memory.  Overflow
   // is counted and surfaced via Trace::dropped().
@@ -100,6 +103,21 @@ bool Trace::stop() {
             [](const Event& a, const Event& b) { return a.ts < b.ts; });
 
   Json events = Json::array();
+  // Thread-name metadata first: Perfetto attributes worker spans to
+  // "worker-N" rows instead of bare tids.
+  for (const auto& buf : g.buffers) {
+    if (buf->name.empty()) continue;
+    Json ev = Json::object();
+    ev.set("name", Json("thread_name"));
+    ev.set("ph", Json("M"));
+    ev.set("ts", Json(0));
+    ev.set("pid", Json(1));
+    ev.set("tid", Json(static_cast<std::int64_t>(buf->tid)));
+    Json args = Json::object();
+    args.set("name", Json(buf->name));
+    ev.set("args", std::move(args));
+    events.push(std::move(ev));
+  }
   for (const Event& e : all) {
     Json ev = Json::object();
     ev.set("name", Json(e.name));
@@ -114,6 +132,10 @@ bool Trace::stop() {
       Json args = Json::object();
       args.set("value", Json(e.value));
       ev.set("args", std::move(args));
+    } else if (e.phase != nullptr && e.phase[0] != '\0') {
+      Json args = Json::object();
+      args.set("phase", Json(e.phase));
+      ev.set("args", std::move(args));
     }
     events.push(std::move(ev));
   }
@@ -127,12 +149,23 @@ bool Trace::stop() {
 void Trace::complete_event(const char* name, std::uint64_t ts_us,
                            std::uint64_t dur_us) noexcept {
   if (!active()) return;
-  record({name, ts_us, dur_us, 0.0, local_buffer().tid, 'X'});
+  record({name, current_phase(), ts_us, dur_us, 0.0, local_buffer().tid, 'X'});
 }
 
 void Trace::counter_event(const char* name, double value) noexcept {
   if (!active()) return;
-  record({name, now_us(), 0, value, local_buffer().tid, 'C'});
+  record({name, "", now_us(), 0, value, local_buffer().tid, 'C'});
+}
+
+void Trace::set_thread_name(std::string name) {
+  // Registering the buffer takes the global lock (first call per thread);
+  // the rename itself is unsynchronized with stop() only if events from this
+  // thread could race it, which set_thread_name callers (worker startup,
+  // before any span) avoid by construction.
+  Globals& g = globals();
+  ThreadBuffer& buf = local_buffer();
+  std::lock_guard<std::mutex> lock(g.mu);
+  buf.name = std::move(name);
 }
 
 std::uint64_t Trace::dropped() noexcept {

@@ -32,11 +32,18 @@ class Trace {
   /// Microseconds on the steady clock since process start.
   static std::uint64_t now_us() noexcept;
 
-  /// Record a complete ("X") event; no-op when inactive.
+  /// Record a complete ("X") event; no-op when inactive.  The event carries
+  /// the flow phase current at record time (obs::set_phase) in its args, so
+  /// spans group by phase in Perfetto.
   static void complete_event(const char* name, std::uint64_t ts_us,
                              std::uint64_t dur_us) noexcept;
   /// Record a counter ("C") event sampling `value` now; no-op when inactive.
   static void counter_event(const char* name, double value) noexcept;
+
+  /// Name the calling thread for trace output ("worker-3", ...).  Persists
+  /// across start/stop sessions; stop() emits one "M" (metadata) thread-name
+  /// event per named thread so Perfetto shows names instead of bare tids.
+  static void set_thread_name(std::string name);
 
   /// Events dropped because a per-thread buffer hit its cap (diagnostic).
   static std::uint64_t dropped() noexcept;

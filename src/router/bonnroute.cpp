@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "src/detailed/scheduler.hpp"
+#include "src/obs/flight.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
@@ -34,6 +35,13 @@ namespace {
 /// BONN_REPORT / BONN_OBS env fallbacks), resets the registry so the run
 /// report describes exactly this run, and owns the trace session if this
 /// flow started one.
+/// Truthy environment flag ("1", "yes", "true", ...; absent or 0/n/f = off).
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v && !(v[0] == '0' || v[0] == 'n' || v[0] == 'N' || v[0] == 'f' ||
+                v[0] == 'F');
+}
+
 class FlowObs {
  public:
   /// `span_name` must be a string literal (the trace keeps the pointer).
@@ -44,6 +52,13 @@ class FlowObs {
     metrics_ = p.metrics && !env_off && obs::kCompiledIn;
     obs::set_enabled(metrics_);
     if (metrics_) obs::registry().reset();
+
+    // The flight recorder describes exactly this run: recomputed from the
+    // params + environment each flow (a previous flow's setting never
+    // leaks), and its rings cleared at the start.
+    flight_ = p.flight || env_flag("BONN_FLIGHT");
+    obs::Flight::set_enabled(flight_);
+    if (flight_) obs::Flight::reset();
 
     trace_path_ = p.trace_path;
     if (trace_path_.empty()) {
@@ -89,18 +104,72 @@ class FlowObs {
                   report_path_.c_str());
       }
     }
+    finish_common();
+  }
+
+  /// ECO variant: writes the EcoReport-shaped run report instead of a faux
+  /// FlowReport, so ECO runs round-trip their own schema.
+  void finish(const EcoReport& report) {
+    if (metrics_) {
+      obs::gauge("router.total_seconds").set(report.total_seconds);
+      obs::gauge("router.netlength_dbu")
+          .set(static_cast<double>(report.netlength));
+      obs::gauge("router.vias").set(static_cast<double>(report.vias));
+      obs::gauge("router.outcome")
+          .set(static_cast<double>(static_cast<int>(report.outcome)));
+    }
+    if (obs::Trace::active() && flow_start_us_ != kNoStart) {
+      obs::Trace::complete_event(span_name_, flow_start_us_,
+                                 obs::Trace::now_us() - flow_start_us_);
+    }
+    if (started_trace_) {
+      if (!obs::Trace::stop()) {
+        BONN_LOGF(obs::LogLevel::kWarn, "failed to write trace to %s",
+                  trace_path_.c_str());
+      }
+    }
+    if (!report_path_.empty()) {
+      if (!write_eco_report(report_path_, report)) {
+        BONN_LOGF(obs::LogLevel::kWarn, "failed to write run report to %s",
+                  report_path_.c_str());
+      }
+    }
+    finish_common();
   }
 
  private:
+  void finish_common() {
+    obs::set_phase("");
+    if (flight_) {
+      if (const char* env = std::getenv("BONN_FLIGHT_TRACE")) {
+        if (!obs::Flight::write_chrome_trace(env)) {
+          BONN_LOGF(obs::LogLevel::kWarn, "failed to write flight trace to %s",
+                    env);
+        }
+      }
+    }
+  }
+
   static constexpr std::uint64_t kNoStart = ~std::uint64_t{0};
   const char* flow_name_;
   const char* span_name_;
   bool metrics_ = false;
+  bool flight_ = false;
   bool started_trace_ = false;
   std::uint64_t flow_start_us_ = kNoStart;
   std::string trace_path_;
   std::string report_path_;
 };
+
+/// End-of-phase boundary: record an RSS sample against the finished phase
+/// and move the shared phase label (trace spans + flight records) onward.
+/// `done` and `next` must be string literals.
+void phase_boundary(std::vector<PhaseRss>& samples, const char* done,
+                    const char* next) {
+  samples.push_back(
+      {done, MemoryBudget::current_rss_gb(), peak_memory_gb()});
+  obs::set_phase(next);
+}
 
 /// Shared tail: metrics, DRC audit, Table II lengths.
 void finalize_report(const Chip& chip, RoutingSpace& rs, FlowReport& report,
@@ -484,6 +553,7 @@ FlowReport bonnroute_impl(const Chip& chip, const FlowParams& params,
       // checkpoint base; reloading it reconstructs the exact routing-space
       // state at the detailed-done boundary.  The global router is rebuilt
       // for its corridor geometry only (tile grid), never re-routed.
+      obs::set_phase("resume");
       BONN_TRACE_SPAN("router.resume_load");
       rs.load_result(resume->base);
       gr.emplace(chip, rs.tg(), rs.fast(), nx, ny);
@@ -491,7 +561,9 @@ FlowReport bonnroute_impl(const Chip& chip, const FlowParams& params,
       zones = resume->spread_zones;
       router.set_global(&*gr, &routes);
       router.set_spread_zones(std::vector<std::pair<Rect, Coord>>(zones));
+      phase_boundary(report.phase_rss, "resume", "cleanup");
     } else {
+      obs::set_phase("preroute");
       // §4.3 preprocessing first: access reservations consume routing space
       // and must be visible to the §2.5 capacity estimation.  A resume at
       // kStart/kGlobalDone replays this deterministically — the global
@@ -506,6 +578,7 @@ FlowReport bonnroute_impl(const Chip& chip, const FlowParams& params,
             preroute_local_nets(chip, sched, dp, nx, ny, &report.detailed);
       }
       if (budget.stopped()) return interrupt(FlowPhase::kStart, nullptr);
+      phase_boundary(report.phase_rss, "preroute", "global");
 
       // Global routing on capacities that already reflect the pre-routes.
       // The sharing solver gets the flow-wide thread count in deterministic
@@ -561,9 +634,11 @@ FlowReport bonnroute_impl(const Chip& chip, const FlowParams& params,
       }
       router.set_global(&*gr, &routes);
       router.set_spread_zones(std::vector<std::pair<Rect, Coord>>(zones));
+      phase_boundary(report.phase_rss, "global", "detailed");
 
       sched.route_all(dp, &report.detailed);
       if (budget.stopped()) return interrupt(FlowPhase::kGlobalDone, nullptr);
+      phase_boundary(report.phase_rss, "detailed", "cleanup");
     }
     report.br_seconds = total.seconds();
 
@@ -586,6 +661,7 @@ FlowReport bonnroute_impl(const Chip& chip, const FlowParams& params,
       if (budget.stopped()) {
         return interrupt(FlowPhase::kDetailedDone, &after_detailed);
       }
+      phase_boundary(report.phase_rss, "cleanup", "finalize");
     }
     report.total_seconds = total.seconds();
     finalize_report(chip, rs, report, out);
@@ -646,21 +722,10 @@ EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
                     id});
     }
   }
-  const auto finish_obs = [&]() {
-    FlowReport fr;
-    fr.outcome = report.outcome;
-    fr.stop_reason = report.stop_reason;
-    fr.errors = report.errors;
-    fr.total_seconds = report.total_seconds;
-    fr.detailed = report.detailed;
-    fr.netlength = report.netlength;
-    fr.vias = report.vias;
-    flow_obs.finish(fr);
-  };
   if (!report.errors.empty()) {
     report.outcome = FlowOutcome::kFailed;
     report.total_seconds = total.seconds();
-    finish_obs();
+    flow_obs.finish(report);
     return report;
   }
 
@@ -671,10 +736,12 @@ EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
   try {
     const int threads = resolve_threads(params.threads);
     RoutingSpace rs(chip);
+    obs::set_phase("eco_load");
     {
       BONN_TRACE_SPAN("eco.load_prior");
       rs.load_result(prior);
     }
+    phase_boundary(report.phase_rss, "eco_load", "eco");
     NetRouter router(rs);
     DetailedScheduler sched(router, threads);
 
@@ -782,6 +849,7 @@ EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
       report.stop_reason = budget.stop_reason();
       report.outcome = outcome_of(report.stop_reason);
     }
+    phase_boundary(report.phase_rss, "eco", "finalize");
 
     const RoutingResult result = rs.result();
     for (const Net& n : chip.nets) {
@@ -797,13 +865,13 @@ EcoReport reroute_nets(const Chip& chip, const RoutingResult& prior,
     report.total_seconds = total.seconds();
     for (const FlowError& e : stats.errors) append_error(report.errors, e);
     if (out) *out = result;
-    finish_obs();
+    flow_obs.finish(report);
     return report;
   } catch (const std::exception& e) {
     report.outcome = FlowOutcome::kFailed;
     append_error(report.errors, {"internal", e.what(), -1});
     report.total_seconds = total.seconds();
-    finish_obs();
+    flow_obs.finish(report);
     return report;
   }
 }
@@ -856,11 +924,13 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
     };
 
     // ISR global: negotiated 2D + layer assignment on the same capacities.
+    obs::set_phase("isr_global");
     GlobalRouter gr(chip, rs.tg(), rs.fast(), nx, ny);
     IsrGlobalRouter isr(chip, gr);
     std::vector<SteinerSolution> routes =
         isr.route(params.isr_global, &report.isr_global);
     if (budget.stopped()) return interrupted();
+    phase_boundary(report.phase_rss, "isr_global", "track_assign");
 
     // ISR track assignment: long-distance trunks on tracks, no DRC checking
     // (§1.2/§5.3); the gridless maze then closes pin-to-trunk connections.
@@ -869,6 +939,7 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
       assign_tracks(rs, gr, routes);
     }
     if (budget.stopped()) return interrupted();
+    phase_boundary(report.phase_rss, "track_assign", "detailed");
 
     // ISR detailed: per-vertex gridless maze, greedy pin access.
     NetRouteParams dp = params.detailed;
@@ -880,6 +951,7 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
     router.set_global(&gr, &routes);
     sched.route_all(dp, &report.detailed);
     if (budget.stopped()) return interrupted();
+    phase_boundary(report.phase_rss, "detailed", "cleanup");
     report.br_seconds = total.seconds();
 
     if (params.run_cleanup) {
@@ -890,6 +962,7 @@ FlowReport run_isr_flow(const Chip& chip, const FlowParams& params,
       report.cleanup = cleanup.run(cp);
       report.cleanup_seconds = report.cleanup.seconds;
       if (budget.stopped()) return interrupted();
+      phase_boundary(report.phase_rss, "cleanup", "finalize");
     }
     report.total_seconds = total.seconds();
     finalize_report(chip, rs, report, out);

@@ -37,8 +37,23 @@ namespace bonn {
 /// binaries can be traced without code changes.
 struct ObsParams {
   bool metrics = true;      ///< populate the obs metrics registry
+  /// Per-net flight recorder (src/obs/flight.hpp): one record per routing
+  /// attempt, queryable via obs::Flight after the flow returns and embedded
+  /// in the run report.  Off by default (the BONN_FLIGHT environment
+  /// variable also enables it); the BONN_FLIGHT_TRACE variable additionally
+  /// writes the records as a standalone Chrome trace.
+  bool flight = false;
   std::string trace_path;   ///< Chrome trace-event JSON (empty: BONN_TRACE)
   std::string report_path;  ///< structured run report (empty: BONN_REPORT)
+};
+
+/// RSS sample taken at a flow phase boundary (end of the named phase), so
+/// the run report can attribute the peak to a phase instead of only
+/// reporting the flow-end value.
+struct PhaseRss {
+  std::string phase;
+  double rss_gb = 0;   ///< resident set at the boundary
+  double peak_gb = 0;  ///< process peak (VmHWM) up to the boundary
 };
 
 /// Execution budget of a flow run.  All limits default to "unlimited"; the
@@ -104,6 +119,7 @@ struct FlowReport {
   ScenicStats scenic;
   int preroute_nets = 0;
   std::vector<Coord> net_lengths;  ///< per net, for Table II
+  std::vector<PhaseRss> phase_rss;  ///< RSS at each completed phase boundary
 };
 
 /// Result of an incremental (ECO) reroute: how much was touched and how the
@@ -123,6 +139,7 @@ struct EcoReport {
   DetailedStats detailed;
   Coord netlength = 0;     ///< of the full result, for prior-vs-new diffing
   std::int64_t vias = 0;
+  std::vector<PhaseRss> phase_rss;  ///< RSS at each completed phase boundary
 };
 
 /// Incremental (ECO-style) entry point: load `prior` into a fresh routing

@@ -2,12 +2,61 @@
 
 #include <fstream>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/router/metrics.hpp"
+#include "src/router/scoreboard.hpp"
 
 namespace bonn {
 
 using obs::Json;
+
+namespace {
+
+Json errors_json(const std::vector<FlowError>& errors) {
+  Json arr = Json::array();
+  for (const FlowError& e : errors) {
+    Json err = Json::object();
+    err.set("code", Json(e.code));
+    err.set("message", Json(e.message));
+    if (e.net >= 0) err.set("net", Json(e.net));
+    arr.push(std::move(err));
+  }
+  return arr;
+}
+
+Json phase_rss_json(const std::vector<PhaseRss>& samples) {
+  Json arr = Json::array();
+  for (const PhaseRss& s : samples) {
+    Json entry = Json::object();
+    entry.set("phase", Json(s.phase));
+    entry.set("rss_gb", Json(s.rss_gb));
+    entry.set("peak_gb", Json(s.peak_gb));
+    arr.push(std::move(entry));
+  }
+  return arr;
+}
+
+Json detailed_stats_json(const DetailedStats& d) {
+  Json detailed = Json::object();
+  detailed.set("seconds", Json(d.seconds));
+  detailed.set("connections_routed", Json(d.connections_routed));
+  detailed.set("connections_failed", Json(d.connections_failed));
+  detailed.set("nets_failed", Json(d.nets_failed));
+  detailed.set("ripups", Json(d.ripups));
+  detailed.set("pi_p_used", Json(d.pi_p_used));
+  Json search = Json::object();
+  search.set("labels_created", Json(d.search.labels_created));
+  search.set("pops", Json(d.search.pops));
+  search.set("heap_pushes", Json(d.search.heap_pushes));
+  search.set("station_expansions", Json(d.search.station_expansions));
+  search.set("fastgrid_hits", Json(d.search.fastgrid_hits));
+  search.set("fastgrid_misses", Json(d.search.fastgrid_misses));
+  detailed.set("search", std::move(search));
+  return detailed;
+}
+
+}  // namespace
 
 obs::Json flow_report_json(const std::string& flow_name,
                            const FlowReport& report) {
@@ -16,15 +65,7 @@ obs::Json flow_report_json(const std::string& flow_name,
   doc.set("flow", Json(flow_name));
   doc.set("outcome", Json(std::string(to_string(report.outcome))));
   doc.set("stop_reason", Json(std::string(to_string(report.stop_reason))));
-  Json errors = Json::array();
-  for (const FlowError& e : report.errors) {
-    Json err = Json::object();
-    err.set("code", Json(e.code));
-    err.set("message", Json(e.message));
-    if (e.net >= 0) err.set("net", Json(e.net));
-    errors.push(std::move(err));
-  }
-  doc.set("errors", std::move(errors));
+  doc.set("errors", errors_json(report.errors));
 
   Json seconds = Json::object();
   seconds.set("total", Json(report.total_seconds));
@@ -53,6 +94,10 @@ obs::Json flow_report_json(const std::string& flow_name,
               peak_memory_available() ? Json(report.memory_gb) : Json());
   doc.set("quality", std::move(quality));
 
+  doc.set("scoreboard",
+          Scoreboard::from_report(report, flow_name).to_json());
+  doc.set("phase_rss", phase_rss_json(report.phase_rss));
+
   Json global = Json::object();
   global.set("seconds", Json(report.global.total_seconds));
   global.set("alg2_seconds", Json(report.global.alg2_seconds));
@@ -73,28 +118,15 @@ obs::Json flow_report_json(const std::string& flow_name,
   isr.set("reroutes", Json(report.isr_global.reroutes));
   doc.set("isr_global", std::move(isr));
 
-  Json detailed = Json::object();
-  detailed.set("seconds", Json(report.detailed.seconds));
-  detailed.set("connections_routed", Json(report.detailed.connections_routed));
-  detailed.set("connections_failed", Json(report.detailed.connections_failed));
-  detailed.set("nets_failed", Json(report.detailed.nets_failed));
-  detailed.set("ripups", Json(report.detailed.ripups));
-  detailed.set("pi_p_used", Json(report.detailed.pi_p_used));
-  Json search = Json::object();
-  search.set("labels_created", Json(report.detailed.search.labels_created));
-  search.set("pops", Json(report.detailed.search.pops));
-  search.set("station_expansions",
-             Json(report.detailed.search.station_expansions));
-  search.set("fastgrid_hits", Json(report.detailed.search.fastgrid_hits));
-  search.set("fastgrid_misses", Json(report.detailed.search.fastgrid_misses));
-  detailed.set("search", std::move(search));
-  doc.set("detailed", std::move(detailed));
+  doc.set("detailed", detailed_stats_json(report.detailed));
 
   Json cleanup = Json::object();
   cleanup.set("seconds", Json(report.cleanup.seconds));
   cleanup.set("nets_rerouted", Json(report.cleanup.nets_rerouted));
   cleanup.set("segments_extended", Json(report.cleanup.segments_extended));
   doc.set("cleanup", std::move(cleanup));
+
+  if (obs::Flight::enabled()) doc.set("flight", obs::Flight::to_json());
 
   doc.set("metrics", obs::metrics_json());
   return doc;
@@ -105,6 +137,43 @@ bool write_run_report(const std::string& path, const std::string& flow_name,
   std::ofstream out(path);
   if (!out) return false;
   out << flow_report_json(flow_name, report).dump(1) << '\n';
+  return static_cast<bool>(out);
+}
+
+obs::Json eco_report_json(const EcoReport& report) {
+  Json doc = Json::object();
+  doc.set("schema", Json(1));
+  doc.set("flow", Json("eco"));
+  doc.set("outcome", Json(std::string(to_string(report.outcome))));
+  doc.set("stop_reason", Json(std::string(to_string(report.stop_reason))));
+  doc.set("errors", errors_json(report.errors));
+  doc.set("seconds", Json(report.total_seconds));
+
+  Json eco = Json::object();
+  eco.set("nets_requested", Json(report.nets_requested));
+  eco.set("nets_rerouted", Json(report.nets_rerouted));
+  eco.set("collision_nets", Json(report.collision_nets));
+  eco.set("nets_failed", Json(report.nets_failed));
+  eco.set("rollbacks", Json(report.rollbacks));
+  eco.set("changed_nets", Json(static_cast<int>(report.changed_nets.size())));
+  eco.set("netlength_dbu",
+          Json(static_cast<std::int64_t>(report.netlength)));
+  eco.set("vias", Json(report.vias));
+  doc.set("eco", std::move(eco));
+
+  doc.set("detailed", detailed_stats_json(report.detailed));
+  doc.set("phase_rss", phase_rss_json(report.phase_rss));
+
+  if (obs::Flight::enabled()) doc.set("flight", obs::Flight::to_json());
+
+  doc.set("metrics", obs::metrics_json());
+  return doc;
+}
+
+bool write_eco_report(const std::string& path, const EcoReport& report) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << eco_report_json(report).dump(1) << '\n';
   return static_cast<bool>(out);
 }
 

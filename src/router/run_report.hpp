@@ -5,8 +5,15 @@
 //
 // Schema (stable keys, additive evolution; see README "Observability"):
 //   { "schema": 1, "flow": "...", "seconds": {...}, "quality": {...},
-//     "global": {...}, "detailed": {...}, "cleanup": {...},
+//     "scoreboard": {...}, "phase_rss": [...], "global": {...},
+//     "detailed": {...}, "cleanup": {...}, "flight": {...} (when enabled),
 //     "metrics": { "<name>": <counter int | gauge num | histogram obj> } }
+//
+// ECO runs (reroute_nets) write their own schema — the EcoReport carries
+// delta metrics (nets rerouted, collision victims, rollbacks, changed nets)
+// that have no FlowReport equivalent:
+//   { "schema": 1, "flow": "eco", "outcome": ..., "eco": {...},
+//     "detailed": {...}, "phase_rss": [...], "metrics": {...} }
 #pragma once
 
 #include <string>
@@ -23,5 +30,11 @@ obs::Json flow_report_json(const std::string& flow_name,
 /// Serialize to `path` (pretty-printed); false on I/O failure.
 bool write_run_report(const std::string& path, const std::string& flow_name,
                       const FlowReport& report);
+
+/// Build the ECO run-report document (includes a registry snapshot).
+obs::Json eco_report_json(const EcoReport& report);
+
+/// Serialize an ECO report to `path`; false on I/O failure.
+bool write_eco_report(const std::string& path, const EcoReport& report);
 
 }  // namespace bonn

@@ -1,0 +1,330 @@
+#include "src/router/scoreboard.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/drc/audit.hpp"
+#include "src/router/metrics.hpp"
+
+namespace bonn {
+
+using obs::Json;
+
+Scoreboard Scoreboard::from_report(const FlowReport& report, std::string flow) {
+  Scoreboard s;
+  s.flow = std::move(flow);
+  s.nets = static_cast<int>(report.net_lengths.size());
+  s.open_nets = static_cast<int>(report.drc.opens);
+  s.netlength = static_cast<std::int64_t>(report.netlength);
+  s.vias = report.vias;
+  s.scenic_over_25 = report.scenic.over_25;
+  s.scenic_over_50 = report.scenic.over_50;
+  s.drc_errors = report.drc.errors();
+  // Exactly one of the two global routers ran; the other's count is 0.
+  s.overflowed_edges =
+      report.global.overflowed_edges + report.isr_global.overflowed_edges;
+  s.total_seconds = report.total_seconds;
+  s.route_seconds = report.br_seconds;
+  s.cleanup_seconds = report.cleanup_seconds;
+  s.peak_rss_gb = report.memory_gb;
+  s.search_pops = report.detailed.search.pops;
+  s.heap_pushes = report.detailed.search.heap_pushes;
+  s.labels_created = report.detailed.search.labels_created;
+  s.oracle_calls = static_cast<std::int64_t>(report.global.oracle_calls);
+  return s;
+}
+
+Scoreboard Scoreboard::from_result(const Chip& chip,
+                                   const RoutingResult& result,
+                                   std::string flow) {
+  Scoreboard s;
+  s.flow = std::move(flow);
+  s.nets = chip.num_nets();
+  s.netlength = static_cast<std::int64_t>(result.total_wirelength());
+  s.vias = result.via_count();
+  const ScenicStats scenic = count_scenic(chip, result);
+  s.scenic_over_25 = scenic.over_25;
+  s.scenic_over_50 = scenic.over_50;
+  const DrcReport drc = audit_routing(chip, result);
+  s.open_nets = static_cast<int>(drc.opens);
+  s.drc_errors = drc.errors();
+  return s;
+}
+
+Json Scoreboard::to_json() const {
+  Json doc = Json::object();
+  doc.set("flow", Json(flow));
+  if (!chip.empty()) doc.set("chip", Json(chip));
+  doc.set("nets", Json(nets));
+  doc.set("open_nets", Json(open_nets));
+  doc.set("netlength_dbu", Json(netlength));
+  doc.set("vias", Json(vias));
+  doc.set("scenic_over_25", Json(scenic_over_25));
+  doc.set("scenic_over_50", Json(scenic_over_50));
+  doc.set("drc_errors", Json(drc_errors));
+  doc.set("overflowed_edges", Json(overflowed_edges));
+  doc.set("total_seconds", Json(total_seconds));
+  doc.set("route_seconds", Json(route_seconds));
+  doc.set("cleanup_seconds", Json(cleanup_seconds));
+  doc.set("peak_rss_gb", Json(peak_rss_gb));
+  doc.set("search_pops", Json(search_pops));
+  doc.set("heap_pushes", Json(heap_pushes));
+  doc.set("labels_created", Json(labels_created));
+  doc.set("oracle_calls", Json(oracle_calls));
+  return doc;
+}
+
+namespace {
+
+// Tolerant readers: a missing key keeps the default, so older trajectory
+// files parse after the schema gains fields (additive evolution, like the
+// run report).
+std::int64_t get_i64(const Json& doc, const char* key, std::int64_t def = 0) {
+  const Json* v = doc.find(key);
+  return v && v->is_number() ? v->as_int() : def;
+}
+double get_num(const Json& doc, const char* key, double def = 0) {
+  const Json* v = doc.find(key);
+  return v && v->is_number() ? v->as_double() : def;
+}
+std::string get_str(const Json& doc, const char* key) {
+  const Json* v = doc.find(key);
+  return v && v->is_string() ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+std::optional<Scoreboard> Scoreboard::from_json(const Json& doc) {
+  if (!doc.is_object()) return std::nullopt;
+  Scoreboard s;
+  s.flow = get_str(doc, "flow");
+  s.chip = get_str(doc, "chip");
+  s.nets = static_cast<int>(get_i64(doc, "nets"));
+  s.open_nets = static_cast<int>(get_i64(doc, "open_nets"));
+  s.netlength = get_i64(doc, "netlength_dbu");
+  s.vias = get_i64(doc, "vias");
+  s.scenic_over_25 = static_cast<int>(get_i64(doc, "scenic_over_25"));
+  s.scenic_over_50 = static_cast<int>(get_i64(doc, "scenic_over_50"));
+  s.drc_errors = get_i64(doc, "drc_errors");
+  s.overflowed_edges = static_cast<int>(get_i64(doc, "overflowed_edges"));
+  s.total_seconds = get_num(doc, "total_seconds");
+  s.route_seconds = get_num(doc, "route_seconds");
+  s.cleanup_seconds = get_num(doc, "cleanup_seconds");
+  s.peak_rss_gb = get_num(doc, "peak_rss_gb");
+  s.search_pops = get_i64(doc, "search_pops");
+  s.heap_pushes = get_i64(doc, "heap_pushes");
+  s.labels_created = get_i64(doc, "labels_created");
+  s.oracle_calls = get_i64(doc, "oracle_calls");
+  return s;
+}
+
+namespace {
+
+struct TableRow {
+  const char* label;
+  double (*get)(const Scoreboard&);
+  bool integral;   ///< print without decimals
+  bool runtime;    ///< skip when all-zero (from_result has no timing)
+};
+
+const TableRow kRows[] = {
+    {"nets", [](const Scoreboard& s) { return double(s.nets); }, true, false},
+    {"open nets", [](const Scoreboard& s) { return double(s.open_nets); },
+     true, false},
+    {"netlength (dbu)",
+     [](const Scoreboard& s) { return double(s.netlength); }, true, false},
+    {"vias", [](const Scoreboard& s) { return double(s.vias); }, true, false},
+    {"scenic >=25%",
+     [](const Scoreboard& s) { return double(s.scenic_over_25); }, true,
+     false},
+    {"scenic >=50%",
+     [](const Scoreboard& s) { return double(s.scenic_over_50); }, true,
+     false},
+    {"DRC errors", [](const Scoreboard& s) { return double(s.drc_errors); },
+     true, false},
+    {"overflowed edges",
+     [](const Scoreboard& s) { return double(s.overflowed_edges); }, true,
+     false},
+    {"total s", [](const Scoreboard& s) { return s.total_seconds; }, false,
+     true},
+    {"route s", [](const Scoreboard& s) { return s.route_seconds; }, false,
+     true},
+    {"cleanup s", [](const Scoreboard& s) { return s.cleanup_seconds; },
+     false, true},
+    {"peak RSS GB", [](const Scoreboard& s) { return s.peak_rss_gb; }, false,
+     true},
+    {"search pops", [](const Scoreboard& s) { return double(s.search_pops); },
+     true, true},
+    {"heap pushes", [](const Scoreboard& s) { return double(s.heap_pushes); },
+     true, true},
+    {"labels created",
+     [](const Scoreboard& s) { return double(s.labels_created); }, true,
+     true},
+    {"oracle calls",
+     [](const Scoreboard& s) { return double(s.oracle_calls); }, true, true},
+};
+
+std::string format_cell(double v, bool integral) {
+  char buf[40];
+  if (integral) {
+    std::snprintf(buf, sizeof buf, "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string scoreboard_table(const std::vector<Scoreboard>& rows) {
+  if (rows.empty()) return "(no scoreboards)\n";
+  const std::size_t kLabelW = 18;
+  std::size_t col_w = 10;
+  for (const Scoreboard& s : rows) col_w = std::max(col_w, s.flow.size() + 2);
+
+  std::string out;
+  auto pad = [&out](const std::string& cell, std::size_t w) {
+    if (cell.size() < w) out.append(w - cell.size(), ' ');
+    out += cell;
+  };
+  out.append(kLabelW, ' ');
+  for (const Scoreboard& s : rows) pad(s.flow, col_w);
+  out += '\n';
+  for (const TableRow& row : kRows) {
+    if (row.runtime) {
+      bool all_zero = true;
+      for (const Scoreboard& s : rows) all_zero &= row.get(s) == 0;
+      if (all_zero) continue;
+    }
+    std::string label = row.label;
+    if (label.size() < kLabelW) label.append(kLabelW - label.size(), ' ');
+    out += label;
+    for (const Scoreboard& s : rows)
+      pad(format_cell(row.get(s), row.integral), col_w);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---- perf-trajectory diffing -------------------------------------------
+
+namespace {
+
+struct DiffMetric {
+  const char* name;
+  double (*get)(const Scoreboard&);
+  bool runtime;  ///< machine-dependent: only checked with check_runtime
+  bool count;    ///< small-integer count: count_slack applies
+};
+
+// "Worse" is always "bigger" for every metric here, so the regression test
+// is one-sided: cur > base * (1 + tol) [+ slack].
+const DiffMetric kDiffMetrics[] = {
+    {"open_nets", [](const Scoreboard& s) { return double(s.open_nets); },
+     false, true},
+    {"netlength_dbu",
+     [](const Scoreboard& s) { return double(s.netlength); }, false, false},
+    {"vias", [](const Scoreboard& s) { return double(s.vias); }, false,
+     false},
+    {"scenic_over_25",
+     [](const Scoreboard& s) { return double(s.scenic_over_25); }, false,
+     true},
+    {"scenic_over_50",
+     [](const Scoreboard& s) { return double(s.scenic_over_50); }, false,
+     true},
+    {"drc_errors", [](const Scoreboard& s) { return double(s.drc_errors); },
+     false, true},
+    {"overflowed_edges",
+     [](const Scoreboard& s) { return double(s.overflowed_edges); }, false,
+     true},
+    {"total_seconds",
+     [](const Scoreboard& s) { return s.total_seconds; }, true, false},
+    {"route_seconds",
+     [](const Scoreboard& s) { return s.route_seconds; }, true, false},
+    {"peak_rss_gb", [](const Scoreboard& s) { return s.peak_rss_gb; }, true,
+     false},
+};
+
+/// chip label -> flow name -> scoreboard, from a trajectory document.
+std::vector<std::pair<std::string, std::vector<Scoreboard>>> parse_trajectory(
+    const Json& doc) {
+  std::vector<std::pair<std::string, std::vector<Scoreboard>>> out;
+  const Json* chips = doc.is_object() ? doc.find("chips") : nullptr;
+  if (!chips || !chips->is_array()) return out;
+  for (const Json& entry : chips->items()) {
+    if (!entry.is_object()) continue;
+    const Json* name = entry.find("chip");
+    const Json* flows = entry.find("flows");
+    if (!name || !name->is_string() || !flows || !flows->is_object()) continue;
+    std::vector<Scoreboard> boards;
+    for (const auto& [flow, sb] : flows->members()) {
+      std::optional<Scoreboard> parsed = Scoreboard::from_json(sb);
+      if (!parsed) continue;
+      parsed->flow = flow;  // the key is authoritative
+      parsed->chip = name->as_string();
+      boards.push_back(std::move(*parsed));
+    }
+    out.emplace_back(name->as_string(), std::move(boards));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BenchRegression> diff_trajectories(const Json& baseline,
+                                               const Json& current,
+                                               const BenchDiffOptions& opts) {
+  std::vector<BenchRegression> regressions;
+  const auto base_chips = parse_trajectory(baseline);
+  const auto cur_chips = parse_trajectory(current);
+  for (const auto& [chip, cur_boards] : cur_chips) {
+    const auto base_it = std::find_if(
+        base_chips.begin(), base_chips.end(),
+        [&chip = chip](const auto& e) { return e.first == chip; });
+    if (base_it == base_chips.end()) continue;  // new chip: nothing to diff
+    for (const Scoreboard& cur : cur_boards) {
+      const auto* base = [&]() -> const Scoreboard* {
+        for (const Scoreboard& b : base_it->second)
+          if (b.flow == cur.flow) return &b;
+        return nullptr;
+      }();
+      if (!base) continue;  // new flow: nothing to diff
+      for (const DiffMetric& m : kDiffMetrics) {
+        if (m.runtime && !opts.check_runtime) continue;
+        const double tol = m.runtime ? opts.runtime_tol : opts.quality_tol;
+        const double slack = m.count ? double(opts.count_slack) : 0.0;
+        const double b = m.get(*base);
+        const double c = m.get(cur);
+        if (c > b * (1.0 + tol) + slack)
+          regressions.push_back({chip, cur.flow, m.name, b, c});
+      }
+    }
+  }
+  return regressions;
+}
+
+Json trajectory_json(
+    const std::vector<std::pair<std::string, std::vector<Scoreboard>>>&
+        chips) {
+  Json doc = Json::object();
+  doc.set("schema", Json(1));
+  Json arr = Json::array();
+  for (const auto& [chip, boards] : chips) {
+    Json entry = Json::object();
+    entry.set("chip", Json(chip));
+    Json flows = Json::object();
+    for (const Scoreboard& s : boards) {
+      Json sb = s.to_json();
+      flows.set(s.flow, std::move(sb));
+    }
+    entry.set("flows", std::move(flows));
+    arr.push(std::move(entry));
+  }
+  doc.set("chips", std::move(arr));
+  return doc;
+}
+
+}  // namespace bonn

@@ -1,0 +1,104 @@
+// Unified quality/performance scoreboard — one struct holding every number
+// the paper's evaluation compares (Tables I/III columns plus the
+// search-core counters), computable from any routing result.
+//
+// Three producers share it: flow reports (from_report), raw routing results
+// such as a prior/ECO result loaded from disk (from_result, which re-audits
+// DRC and scenic counts), and trajectory files parsed back (from_json).
+// One consumer set: the JSON run report, the side-by-side comparison table
+// (BonnRoute vs ISR vs prior), and the bench_scoreboard / bench_diff
+// perf-trajectory pipeline.
+//
+// Trajectory contract: bench_scoreboard writes BENCH_<n>.json at the repo
+// root — {"schema": 1, "chips": [{"chip": ..., "flows": {<flow>:
+// <scoreboard>}}]} — and diff_trajectories compares two such files with
+// noise-aware thresholds.  Quality metrics are deterministic at any thread
+// count (bit-identical routing), so they diff exactly across machines;
+// runtime is machine-dependent and only checked when asked.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.hpp"
+#include "src/router/bonnroute.hpp"
+
+namespace bonn {
+
+struct Scoreboard {
+  std::string flow;   ///< "bonnroute", "isr", "eco", "prior", ...
+  std::string chip;   ///< instance label in trajectory files; may be empty
+  int nets = 0;
+  int open_nets = 0;          ///< nets left unconnected (DRC opens)
+  std::int64_t netlength = 0;  ///< dbu
+  std::int64_t vias = 0;
+  int scenic_over_25 = 0;     ///< nets with >= 25 % detour (scenic ratio)
+  int scenic_over_50 = 0;
+  std::int64_t drc_errors = 0;  ///< violations + opens (paper's error count)
+  int overflowed_edges = 0;   ///< global-routing overflow after rounding
+  double total_seconds = 0;
+  double route_seconds = 0;   ///< before cleanup (Table I "BR" column)
+  double cleanup_seconds = 0;
+  double peak_rss_gb = 0;     ///< 0 when the platform cannot report it
+  std::int64_t search_pops = 0;
+  std::int64_t heap_pushes = 0;
+  std::int64_t labels_created = 0;
+  std::int64_t oracle_calls = 0;  ///< Steiner oracle calls (BonnRoute global)
+
+  /// Scoreboard of a finished flow run (no recomputation; uses the report's
+  /// audited numbers).
+  static Scoreboard from_report(const FlowReport& report, std::string flow);
+  /// Scoreboard of a bare result (prior run, ECO output, imported wiring):
+  /// recomputes wirelength, vias, scenic counts and the DRC audit; runtime
+  /// and search counters stay 0 — the work happened elsewhere.
+  static Scoreboard from_result(const Chip& chip, const RoutingResult& result,
+                                std::string flow);
+
+  obs::Json to_json() const;
+  static std::optional<Scoreboard> from_json(const obs::Json& doc);
+};
+
+/// Side-by-side comparison: one column per scoreboard (BonnRoute vs ISR vs
+/// prior/ECO), one row per metric.  Runtime rows are skipped when every
+/// entry is zero (from_result scoreboards carry no timing).
+std::string scoreboard_table(const std::vector<Scoreboard>& rows);
+
+// ---- perf-trajectory diffing -------------------------------------------
+
+struct BenchDiffOptions {
+  /// Allowed relative growth of a quality metric (netlength, vias, DRC,
+  /// scenic, overflow, opens) before it counts as a regression.
+  double quality_tol = 0.02;
+  /// Allowed relative growth of runtime metrics; generous because wall
+  /// clock is machine- and load-dependent.
+  double runtime_tol = 0.50;
+  /// Absolute slack on top of the relative tolerance: small counts (3 -> 4
+  /// scenic nets) are noise, not a 33 % regression.
+  std::int64_t count_slack = 2;
+  /// Compare runtime at all.  Off in CI check mode: quality is
+  /// deterministic across machines, runtime is not.
+  bool check_runtime = false;
+};
+
+/// One metric that got worse beyond tolerance.
+struct BenchRegression {
+  std::string chip;
+  std::string flow;
+  std::string metric;
+  double base = 0;
+  double current = 0;
+};
+
+/// Compare two trajectory documents chip-by-chip (intersection by chip
+/// label, so a 1-chip smoke run diffs against a 3-chip baseline), flow by
+/// flow.  Returns every regression found; empty = pass.
+std::vector<BenchRegression> diff_trajectories(const obs::Json& baseline,
+                                               const obs::Json& current,
+                                               const BenchDiffOptions& opts);
+
+/// Assemble a trajectory document from per-chip scoreboard sets.
+obs::Json trajectory_json(
+    const std::vector<std::pair<std::string, std::vector<Scoreboard>>>& chips);
+
+}  // namespace bonn

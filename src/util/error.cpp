@@ -15,4 +15,16 @@ void append_error(std::vector<FlowError>& errors, FlowError err,
   errors.push_back(std::move(err));
 }
 
+bool outcome_from_string(std::string_view name, FlowOutcome* out) {
+  for (FlowOutcome o :
+       {FlowOutcome::kCompleted, FlowOutcome::kBudgetExhausted,
+        FlowOutcome::kCancelled, FlowOutcome::kFailed}) {
+    if (name == to_string(o)) {
+      *out = o;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace bonn

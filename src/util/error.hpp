@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bonn {
@@ -32,6 +33,11 @@ inline const char* to_string(FlowOutcome o) {
   }
   return "unknown";
 }
+
+/// Inverse of to_string(FlowOutcome); false (and `*out` untouched) for an
+/// unrecognized name, so report parsers can reject corrupt files instead of
+/// silently mapping them to kCompleted.
+bool outcome_from_string(std::string_view name, FlowOutcome* out);
 
 /// One structured diagnostic.  `code` is a stable machine-readable slug
 /// ("chip.net_pin_range", "io.truncated", "net_attempt", "budget.deadline",

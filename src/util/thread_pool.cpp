@@ -1,7 +1,9 @@
 #include "src/util/thread_pool.hpp"
 
 #include <atomic>
+#include <string>
 
+#include "src/obs/trace.hpp"
 #include "src/util/assert.hpp"
 #include "src/util/budget.hpp"
 
@@ -11,7 +13,12 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   BONN_CHECK(num_threads > 0);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Named before any span is recorded, so trace output attributes
+      // window tasks to "worker-N" rows instead of bare tids.
+      obs::Trace::set_thread_name("worker-" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

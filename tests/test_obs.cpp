@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/obs/flight.hpp"
 #include "src/obs/json.hpp"
 #include "src/obs/log.hpp"
 #include "src/obs/metrics.hpp"
@@ -146,6 +147,47 @@ TEST(Metrics, HistogramBuckets) {
   EXPECT_EQ(h.bucket_count(obs::Histogram::bucket_of(1000)), 1);
 }
 
+TEST(Metrics, HistogramQuantiles) {
+  // Pure bucket math — pinned so the quantile semantics cannot drift
+  // silently.  Bucket b holds values [bucket_lo(b), 2*bucket_lo(b) - 1];
+  // the continuous rank q*(count-1) is interpolated across that range.
+  using obs::histogram_quantile;
+  EXPECT_DOUBLE_EQ(histogram_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 0}, 0.5), 0.0);
+
+  // All samples in a single-valued bucket: exact at every quantile.
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 10}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 10}, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 10}, 1.0), 1.0);
+
+  // Half zeros, half ones: the median rank 4.5 is still among the zeros.
+  EXPECT_DOUBLE_EQ(histogram_quantile({5, 5}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({5, 5}, 0.9), 1.0);
+
+  // Four samples in bucket 3 = [4, 7]: interpolation across the range.
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 0, 0, 4}, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 0, 0, 4}, 0.5), 5.125);
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 0, 0, 4}, 1.0), 6.25);
+
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 10}, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({0, 10}, 2.0), 1.0);
+
+  // And the JSON rendering carries the three fixed quantiles.
+  BONN_REQUIRE_OBS();
+  obs::set_enabled(true);
+  obs::Histogram& h = obs::histogram("test.obs.quant");
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.record(1);
+  const obs::Json j = obs::metrics_json();
+  const obs::Json* hj = j.find("test.obs.quant");
+  ASSERT_NE(hj, nullptr);
+  for (const char* key : {"p50", "p95", "p99"}) {
+    ASSERT_NE(hj->find(key), nullptr) << "histogram JSON missing " << key;
+    EXPECT_DOUBLE_EQ(hj->find(key)->as_double(), 1.0);
+  }
+}
+
 TEST(Metrics, GaugeAvailability) {
   BONN_REQUIRE_OBS();
   obs::set_enabled(true);
@@ -200,6 +242,7 @@ TEST(Trace, WritesParseableChromeEvents) {
   ASSERT_TRUE(doc->is_array());
   ASSERT_GE(doc->size(), 10u);  // 1 outer + 8 workers + 1 counter
   std::set<std::string> names;
+  std::set<std::string> thread_names;
   std::uint64_t prev_ts = 0;
   for (std::size_t i = 0; i < doc->size(); ++i) {
     const obs::Json& e = doc->at(i);
@@ -208,12 +251,20 @@ TEST(Trace, WritesParseableChromeEvents) {
       ASSERT_NE(e.find(key), nullptr) << "event missing " << key;
     }
     const std::string& ph = e.find("ph")->as_string();
-    EXPECT_TRUE(ph == "X" || ph == "C") << ph;
+    EXPECT_TRUE(ph == "X" || ph == "C" || ph == "M") << ph;
     if (ph == "X") {
       EXPECT_NE(e.find("dur"), nullptr);
     }
     if (ph == "C") {
       ASSERT_NE(e.find("args"), nullptr);
+    }
+    if (ph == "M") {
+      // Thread-name metadata: emitted first so viewers label the rows.
+      EXPECT_EQ(e.find("name")->as_string(), "thread_name");
+      const obs::Json* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      ASSERT_NE(args->find("name"), nullptr);
+      thread_names.insert(args->find("name")->as_string());
     }
     const auto ts = static_cast<std::uint64_t>(e.find("ts")->as_int());
     EXPECT_GE(ts, prev_ts) << "events must be sorted by timestamp";
@@ -223,7 +274,165 @@ TEST(Trace, WritesParseableChromeEvents) {
   EXPECT_TRUE(names.count("test.outer"));
   EXPECT_TRUE(names.count("test.worker"));
   EXPECT_TRUE(names.count("test.level"));
+  // The pool's workers announced themselves via set_thread_name.
+  EXPECT_TRUE(thread_names.count("worker-0")) << "missing thread_name M event";
   EXPECT_EQ(obs::Trace::dropped(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, SpansCarryFlowPhase) {
+  const std::string path = temp_path("bonn_trace_phase_test.json");
+  ASSERT_TRUE(obs::Trace::start(path));
+  obs::set_phase("detailed");
+  { BONN_TRACE_SPAN("test.phased"); }
+  obs::set_phase("");
+  { BONN_TRACE_SPAN("test.unphased"); }
+  ASSERT_TRUE(obs::Trace::stop());
+
+  const auto doc = obs::Json::parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  bool saw_phased = false;
+  bool saw_unphased = false;
+  for (std::size_t i = 0; i < doc->size(); ++i) {
+    const obs::Json& e = doc->at(i);
+    const std::string& name = e.find("name")->as_string();
+    if (name == "test.phased") {
+      saw_phased = true;
+      const obs::Json* args = e.find("args");
+      ASSERT_NE(args, nullptr) << "phased span must carry args.phase";
+      ASSERT_NE(args->find("phase"), nullptr);
+      EXPECT_EQ(args->find("phase")->as_string(), "detailed");
+    } else if (name == "test.unphased") {
+      saw_unphased = true;
+      // No phase set: the span carries no phase annotation.
+      const obs::Json* args = e.find("args");
+      if (args != nullptr) {
+        EXPECT_EQ(args->find("phase"), nullptr);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_phased);
+  EXPECT_TRUE(saw_unphased);
+  std::remove(path.c_str());
+}
+
+TEST(Flight, RecordsQueryAndExplain) {
+  obs::Flight::set_enabled(true);
+  obs::Flight::reset();
+  obs::FlightRecord rec;
+  rec.net = 7;
+  rec.window = 2;
+  rec.phase = "detailed";
+  rec.mode = "ontrack";
+  rec.pops = 100;
+  rec.pushes = 150;
+  rec.outcome = 'F';
+  rec.start_us = 10;
+  rec.dur_us = 5;
+  obs::Flight::record(rec);
+  rec.outcome = 'R';
+  rec.start_us = 20;
+  obs::Flight::record(rec);
+  obs::FlightRecord other;
+  other.net = 9;
+  other.outcome = 'R';
+  other.start_us = 15;
+  obs::Flight::record(other);
+
+  const auto all = obs::Flight::snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  // Sorted by start time across the merge.
+  EXPECT_EQ(all[0].start_us, 10u);
+  EXPECT_EQ(all[1].start_us, 15u);
+  EXPECT_EQ(all[2].start_us, 20u);
+
+  const auto net7 = obs::Flight::for_net(7);
+  ASSERT_EQ(net7.size(), 2u);
+  EXPECT_EQ(net7[0].outcome, 'F');
+  EXPECT_EQ(net7[1].outcome, 'R');
+
+  const obs::Json doc = obs::Flight::explain(7);
+  ASSERT_NE(doc.find("summary"), nullptr);
+  const obs::Json& s = *doc.find("summary");
+  EXPECT_EQ(s.find("attempts")->as_int(), 2);
+  EXPECT_EQ(s.find("routed")->as_int(), 1);
+  EXPECT_EQ(s.find("failed")->as_int(), 1);
+  EXPECT_EQ(s.find("total_pops")->as_int(), 200);
+  EXPECT_EQ(s.find("last_outcome")->as_string(), "R");
+
+  // Full dump carries every field of a record.
+  const obs::Json dump = obs::Flight::to_json();
+  ASSERT_EQ(dump.size(), 3u);
+  const obs::Json& first = dump.at(0);
+  for (const char* key :
+       {"net", "window", "phase", "mode", "pops", "pushes", "ripups",
+        "rollbacks", "ladder_rungs", "rip_first", "budget_stopped", "outcome",
+        "tid", "start_us", "dur_us"}) {
+    EXPECT_NE(first.find(key), nullptr) << "record JSON missing " << key;
+  }
+  obs::Flight::reset();
+  EXPECT_TRUE(obs::Flight::snapshot().empty());
+  obs::Flight::set_enabled(false);
+}
+
+TEST(Flight, DisabledRecordIsNoOpAndRingOverwrites) {
+  obs::Flight::set_enabled(false);
+  obs::Flight::reset();
+  obs::FlightRecord rec;
+  rec.net = 1;
+  obs::Flight::record(rec);
+  EXPECT_TRUE(obs::Flight::snapshot().empty()) << "disabled must drop records";
+
+  // Overflow the per-thread ring: the oldest records are displaced and
+  // counted, the newest kept.
+  obs::Flight::set_enabled(true);
+  obs::Flight::reset();
+  const int kCap = 1 << 13;
+  const int kTotal = kCap + 100;
+  for (int i = 0; i < kTotal; ++i) {
+    obs::FlightRecord r;
+    r.net = i;
+    r.start_us = static_cast<std::uint64_t>(i);
+    obs::Flight::record(r);
+  }
+  const auto all = obs::Flight::snapshot();
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kCap));
+  EXPECT_EQ(obs::Flight::overwritten(), 100u);
+  EXPECT_EQ(all.front().net, 100) << "oldest 100 displaced";
+  EXPECT_EQ(all.back().net, kTotal - 1);
+  obs::Flight::reset();
+  EXPECT_EQ(obs::Flight::overwritten(), 0u);
+  obs::Flight::set_enabled(false);
+}
+
+TEST(Flight, WritesChromeTrace) {
+  obs::Flight::set_enabled(true);
+  obs::Flight::reset();
+  obs::FlightRecord rec;
+  rec.net = 3;
+  rec.phase = "detailed";
+  rec.mode = "ontrack";
+  rec.outcome = 'R';
+  rec.start_us = 50;
+  rec.dur_us = 7;
+  obs::Flight::record(rec);
+  const std::string path = temp_path("bonn_flight_trace.json");
+  ASSERT_TRUE(obs::Flight::write_chrome_trace(path));
+  const auto doc = obs::Json::parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_array());
+  bool saw_attempt = false;
+  for (std::size_t i = 0; i < doc->size(); ++i) {
+    const obs::Json& e = doc->at(i);
+    if (e.find("ph")->as_string() == "X") {
+      saw_attempt = true;
+      EXPECT_NE(e.find("args"), nullptr);
+      EXPECT_EQ(e.find("args")->find("net")->as_int(), 3);
+    }
+  }
+  EXPECT_TRUE(saw_attempt);
+  obs::Flight::reset();
+  obs::Flight::set_enabled(false);
   std::remove(path.c_str());
 }
 

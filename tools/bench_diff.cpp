@@ -1,0 +1,155 @@
+// Compare two perf-trajectory files (bench_scoreboard output) and fail on
+// regressions.  The quality metrics are deterministic at any thread count,
+// so they diff exactly across machines; runtime is machine-dependent and
+// only compared when --runtime is given.
+//
+// Usage:
+//   bench_diff [--check] [--runtime] [--quality-tol X] [--runtime-tol Y]
+//              [--count-slack N] BASELINE.json CURRENT.json
+//
+//   --check          terse CI mode: print regressions only
+//   --runtime        also compare total/route seconds and peak RSS
+//   --quality-tol X  relative growth allowed on quality metrics (default .02)
+//   --runtime-tol Y  relative growth allowed on runtime metrics (default .50)
+//   --count-slack N  absolute slack on small counts (default 2)
+//
+// Exit code: 0 = no regression, 1 = regression found, 2 = usage/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json.hpp"
+#include "src/router/scoreboard.hpp"
+
+using namespace bonn;
+
+namespace {
+
+std::optional<obs::Json> load_json(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto doc = obs::Json::parse(ss.str());
+  if (!doc) std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path);
+  return doc;
+}
+
+void print_summary(const obs::Json& base, const obs::Json& cur) {
+  const obs::Json* chips = cur.is_object() ? cur.find("chips") : nullptr;
+  if (!chips || !chips->is_array()) return;
+  std::printf("%-8s %-10s %-16s %14s %14s %8s\n", "chip", "flow", "metric",
+              "baseline", "current", "delta");
+  for (const obs::Json& entry : chips->items()) {
+    const obs::Json* name = entry.find("chip");
+    const obs::Json* flows = entry.find("flows");
+    if (!name || !flows || !flows->is_object()) continue;
+    // Find the matching baseline chip entry.
+    const obs::Json* base_flows = nullptr;
+    const obs::Json* base_chips = base.is_object() ? base.find("chips")
+                                                   : nullptr;
+    if (base_chips && base_chips->is_array()) {
+      for (const obs::Json& b : base_chips->items()) {
+        const obs::Json* bn = b.find("chip");
+        if (bn && bn->is_string() && bn->as_string() == name->as_string()) {
+          base_flows = b.find("flows");
+          break;
+        }
+      }
+    }
+    for (const auto& [flow, sb] : flows->members()) {
+      const obs::Json* bsb =
+          base_flows && base_flows->is_object() ? base_flows->find(flow)
+                                                : nullptr;
+      for (const char* metric :
+           {"netlength_dbu", "vias", "drc_errors", "open_nets",
+            "scenic_over_25", "total_seconds"}) {
+        const obs::Json* cv = sb.find(metric);
+        const obs::Json* bv = bsb ? bsb->find(metric) : nullptr;
+        if (!cv || !cv->is_number()) continue;
+        const double c = cv->as_double();
+        const double b = bv && bv->is_number() ? bv->as_double() : 0.0;
+        const double delta = b != 0 ? 100.0 * (c - b) / b : 0.0;
+        std::printf("%-8s %-10s %-16s %14.2f %14.2f %+7.1f%%\n",
+                    name->as_string().c_str(), flow.c_str(), metric, b, c,
+                    delta);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDiffOptions opts;
+  bool check_mode = false;
+  const char* base_path = nullptr;
+  const char* cur_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next_num = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      *out = std::strtod(argv[++i], &end);
+      return end && *end == '\0';
+    };
+    if (std::strcmp(arg, "--check") == 0) {
+      check_mode = true;
+    } else if (std::strcmp(arg, "--runtime") == 0) {
+      opts.check_runtime = true;
+    } else if (std::strcmp(arg, "--quality-tol") == 0) {
+      if (!next_num(&opts.quality_tol)) { base_path = nullptr; break; }
+    } else if (std::strcmp(arg, "--runtime-tol") == 0) {
+      if (!next_num(&opts.runtime_tol)) { base_path = nullptr; break; }
+    } else if (std::strcmp(arg, "--count-slack") == 0) {
+      double v = 0;
+      if (!next_num(&v)) { base_path = nullptr; break; }
+      opts.count_slack = static_cast<std::int64_t>(v);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", arg);
+      return 2;
+    } else if (!base_path) {
+      base_path = arg;
+    } else if (!cur_path) {
+      cur_path = arg;
+    } else {
+      base_path = nullptr;
+      break;
+    }
+  }
+  if (!base_path || !cur_path) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--check] [--runtime] [--quality-tol X] "
+                 "[--runtime-tol Y] [--count-slack N] BASELINE CURRENT\n");
+    return 2;
+  }
+
+  const auto base = load_json(base_path);
+  const auto cur = load_json(cur_path);
+  if (!base || !cur) return 2;
+
+  if (!check_mode) print_summary(*base, *cur);
+
+  const auto regressions = diff_trajectories(*base, *cur, opts);
+  if (regressions.empty()) {
+    std::printf("bench_diff: OK (%s vs %s, quality tol %.0f%%%s)\n",
+                base_path, cur_path, 100.0 * opts.quality_tol,
+                opts.check_runtime ? ", runtime checked" : "");
+    return 0;
+  }
+  for (const BenchRegression& r : regressions) {
+    std::fprintf(stderr,
+                 "bench_diff: REGRESSION %s/%s %s: %.2f -> %.2f (%+.1f%%)\n",
+                 r.chip.c_str(), r.flow.c_str(), r.metric.c_str(), r.base,
+                 r.current,
+                 r.base != 0 ? 100.0 * (r.current - r.base) / r.base : 0.0);
+  }
+  return 1;
+}
